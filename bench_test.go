@@ -1,0 +1,178 @@
+package hilos
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/attention"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/estimator"
+	"repro/internal/experiments"
+	"repro/internal/longbench"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// --- One benchmark per paper table/figure (DESIGN.md §3 index). Each
+// regenerates the corresponding experiment end to end; b.N repetitions give
+// stable timings of the full harness.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	g, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := experiments.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := g.Run(r)
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig2Motivation(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig4Breakdown(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkTable3Resources(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkFig10Throughput(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11BatchSweep(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12aKernels(b *testing.B)        { benchExperiment(b, "fig12a") }
+func BenchmarkFig12bModels(b *testing.B)         { benchExperiment(b, "fig12b") }
+func BenchmarkFig13SpillSweep(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig14OutputLen(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkFig15Ablation(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkFig16aCost(b *testing.B)           { benchExperiment(b, "fig16a") }
+func BenchmarkFig16bEndurance(b *testing.B)      { benchExperiment(b, "fig16b") }
+func BenchmarkFig17aEnergy(b *testing.B)         { benchExperiment(b, "fig17a") }
+func BenchmarkFig17bMultiNode(b *testing.B)      { benchExperiment(b, "fig17b") }
+func BenchmarkEstimatorCorrelation(b *testing.B) { benchExperiment(b, "est") }
+func BenchmarkISPProjection(b *testing.B)        { benchExperiment(b, "isp") }
+func BenchmarkExtFutureCSD(b *testing.B)         { benchExperiment(b, "ext-csd") }
+func BenchmarkExtCXL(b *testing.B)               { benchExperiment(b, "ext-cxl") }
+func BenchmarkExtFTL(b *testing.B)               { benchExperiment(b, "ext-ftl") }
+
+// BenchmarkFig18cAccuracy runs one task of the accuracy suite per iteration
+// (the full five-task suite is exercised by the fig18c experiment and takes
+// ~10 s; benchmark the unit of work instead).
+func BenchmarkFig18cAccuracy(b *testing.B) {
+	task := longbench.Suite()[2] // the 1K-context task
+	task.Samples = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := task.Score(int64(i), longbench.Blocked); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the functional and timing substrates.
+
+func BenchmarkBlockedAttention4K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandMat(rng, 1, 128, 1)
+	k := tensor.RandMat(rng, 4096, 128, 1)
+	v := tensor.RandMat(rng, 4096, 128, 1)
+	b.SetBytes(int64(2 * 4096 * 128 * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.Blocked(q, k, v, nil, 128)
+	}
+}
+
+func BenchmarkAcceleratorAttention4K(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a, err := accel.New(accel.Config{DGroup: 1, HeadDim: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := tensor.RandMat(rng, 1, 128, 1)
+	k := tensor.RandMat(rng, 4096, 128, 1)
+	v := tensor.RandMat(rng, 4096, 128, 1)
+	b.SetBytes(int64(2 * 4096 * 128 * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Attention(q, k, v, nil, tensor.Mat{}, tensor.Mat{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoPassSoftmax(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float32, 32*1024)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64() * 4)
+	}
+	b.SetBytes(int64(len(x) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.SoftmaxTwoPass(x, nil, 128)
+	}
+}
+
+func BenchmarkSimEngineDecodeStep(b *testing.B) {
+	tb := device.DefaultTestbed()
+	req := pipeline.Request{Model: model.OPT175B, Batch: 16, Context: 131072, OutputLen: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := core.Run(tb, req, core.DefaultOptions(16))
+		if rep.OOM {
+			b.Fatal(rep.Reason)
+		}
+	}
+}
+
+func BenchmarkBaselineDecodeStep(b *testing.B) {
+	tb := device.DefaultTestbed()
+	req := pipeline.Request{Model: model.OPT175B, Batch: 16, Context: 131072, OutputLen: 64}
+	flex := baseline.FlexSSD(tb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := flex.Run(tb, req)
+		if rep.OOM {
+			b.Fatal(rep.Reason)
+		}
+	}
+}
+
+func BenchmarkSchedulerListScheduling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		r1 := e.Resource("a", 10)
+		r2 := e.Resource("b", 5)
+		var prev *sim.Task
+		for l := 0; l < 500; l++ {
+			t1 := e.Task("x", r1, 3, prev)
+			prev = e.Task("y", r2, 2, t1)
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkEstimatorSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := estimator.Sweep()
+		if _, err := estimator.Correlation(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCycleModelKernelTime(b *testing.B) {
+	cm := accel.DefaultCycleModel(5, 128)
+	for i := 0; i < b.N; i++ {
+		if cm.KernelTime(131072) <= 0 {
+			b.Fatal("non-positive kernel time")
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command hilos-bench regenerates the paper's evaluation: every table and
+// figure, printed as aligned text tables with the paper's expected shapes
+// as notes.
+//
+// Usage:
+//
+//	hilos-bench                 # run everything in paper order
+//	hilos-bench -only fig10     # run one experiment
+//	hilos-bench -list           # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by ID (e.g. fig10)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	r := experiments.New()
+	if *only != "" {
+		g, err := experiments.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(g.Run(r))
+		return
+	}
+
+	start := time.Now()
+	for _, g := range experiments.Registry() {
+		t0 := time.Now()
+		tab := g.Run(r)
+		fmt.Print(tab)
+		fmt.Printf("(%s in %.1fs)\n\n", g.ID, time.Since(t0).Seconds())
+	}
+	fmt.Printf("all experiments completed in %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,34 @@
+// Package hilos is a full-system reproduction of "A Cost-Effective
+// Near-Storage Processing Solution for Offline Inference of Long-Context
+// LLMs" (HILOS, ASPLOS 2026).
+//
+// HILOS accelerates offloading-based batched LLM inference by moving the
+// KV-cache-bound attention computation into near-storage processing (NSP)
+// devices — SmartSSDs with an FPGA behind a private PCIe switch — so the
+// terabyte-scale KV cache never crosses the host interconnect. Three
+// techniques make that practical: attention near storage (§4.1),
+// cooperative X-cache execution between GPU and devices (§4.2), and delayed
+// KV-cache writeback (§4.3), backed by a memory-efficient blocked attention
+// accelerator (§4.4).
+//
+// Because the original system requires SmartSSD/GPU hardware, this
+// repository substitutes two coupled simulators, both implemented from
+// scratch in pure Go:
+//
+//   - a functional substrate with exact attention numerics (two-pass online
+//     softmax, 128-token blocked dataflow with online transpose, GQA,
+//     X-cache regeneration, delayed-writeback merging) under FP16 storage
+//     with FP32 accumulation; and
+//   - a timing substrate: a deterministic discrete-event model of the
+//     paper's testbed (A100/H100, Xeon host, PCIe topology, PM9A3 SSDs,
+//     SmartSSDs with internal P2P paths and an accelerator cycle model),
+//     on which HILOS and all baselines (FlexGen SSD/DRAM/16-SSD,
+//     DeepSpeed+UVM, multi-node vLLM) are evaluated.
+//
+// The package exposes a small façade over the internal packages: construct
+// a Simulator, describe a Request, and run any System on it. The
+// experiments behind every figure and table of the paper are available via
+// Experiments and ExperimentByID, and the accuracy harness via
+// AccuracySuite. See the examples directory for runnable walkthroughs and
+// DESIGN.md/EXPERIMENTS.md for the reproduction methodology.
+package hilos

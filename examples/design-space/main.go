@@ -1,0 +1,64 @@
+// Design-space exploration: sweep the HILOS configuration knobs — device
+// count, X-cache ratio α and spill interval c — for a workload, and check
+// that the §4.2 cache scheduler's closed-form α matches the empirical
+// optimum of the sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hilos "repro"
+)
+
+func main() {
+	sim, err := hilos.NewSimulator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := hilos.ModelByName("OPT-30B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := hilos.Request{Model: m, Batch: 16, Context: 32 * 1024, OutputLen: 64}
+
+	fmt.Printf("design space for %s, bs=%d, s=%d (tok/s)\n\n", m.Name, req.Batch, req.Context)
+	alphas := []float64{0, 0.125, 0.25, 0.5, 0.75}
+	spills := []int{4, 16, 64}
+
+	for _, devices := range []int{4, 8, 16} {
+		fmt.Printf("--- %d SmartSSDs ---\n", devices)
+		fmt.Printf("%8s", "alpha\\c")
+		for _, c := range spills {
+			fmt.Printf("%10d", c)
+		}
+		fmt.Println()
+
+		bestT, bestAlpha, bestC := 0.0, 0.0, 0
+		for _, a := range alphas {
+			fmt.Printf("%7.1f%%", 100*a)
+			for _, c := range spills {
+				rep := sim.RunHILOS(req, hilos.HILOSOptions{
+					Devices: devices, XCache: a > 0, DelayedWriteback: true,
+					Alpha: a, SpillInterval: c,
+				})
+				t := rep.DecodeTokPerSec()
+				fmt.Printf("%10.3f", t)
+				if t > bestT {
+					bestT, bestAlpha, bestC = t, a, c
+				}
+			}
+			fmt.Println()
+		}
+		auto, err := sim.ChooseAlpha(m, req.Batch, req.Context, devices)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "matches"
+		if auto != bestAlpha {
+			match = fmt.Sprintf("differs from sweep optimum %.0f%%", 100*bestAlpha)
+		}
+		fmt.Printf("sweep best: α=%.0f%% c=%d (%.3f tok/s); scheduler picks α=%.0f%% (%s)\n\n",
+			100*bestAlpha, bestC, bestT, 100*auto, match)
+	}
+}

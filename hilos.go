@@ -1,0 +1,220 @@
+package hilos
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/longbench"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// Re-exported domain types. Aliases keep the public surface small while the
+// implementation lives in internal packages.
+type (
+	// Request describes one offline-inference workload point.
+	Request = pipeline.Request
+	// Report is the simulated outcome for one system on one request.
+	Report = pipeline.Report
+	// Model is a transformer configuration (Table 2).
+	Model = model.Config
+	// Testbed is the hardware configuration (Table 1).
+	Testbed = device.Testbed
+	// HILOSOptions selects device count and the §4.2/§4.3 optimizations.
+	HILOSOptions = core.Options
+	// ExperimentTable is one regenerated paper table/figure.
+	ExperimentTable = experiments.Table
+	// AccuracyTask is one synthetic long-context retrieval dataset.
+	AccuracyTask = longbench.Task
+)
+
+// Models returns the Table 2 model zoo.
+func Models() []Model { return model.All() }
+
+// ModelByName looks up a Table 2 model ("OPT-66B", "Qwen2.5-32B", ...).
+func ModelByName(name string) (Model, error) { return model.ByName(name) }
+
+// DefaultTestbed returns the paper's Table 1 hardware configuration with
+// all calibration constants documented at their definitions.
+func DefaultTestbed() Testbed { return device.DefaultTestbed() }
+
+// System identifies a simulated inference system.
+type System string
+
+// The systems evaluated in Figure 10 and Figure 17(b).
+const (
+	SystemFlexSSD    System = "flex-ssd"   // FlexGen, KV on 4 PCIe 4.0 SSDs
+	SystemFlexDRAM   System = "flex-dram"  // FlexGen, KV in host DRAM
+	SystemFlex16SSD  System = "flex-16ssd" // FlexGen on 16 SmartSSDs, FPGAs off
+	SystemDSUVM      System = "ds-uvm"     // DeepSpeed ZeRO-Inference + UVM
+	SystemVLLM       System = "vllm"       // 2-node 8×A6000 vLLM
+	SystemHILOS      System = "hilos"      // full HILOS (X-cache + writeback)
+	SystemHILOSANS   System = "hilos-ans"  // ablation: attention near storage only
+	SystemHILOSWB    System = "hilos-wb"   // ablation: ANS + delayed writeback
+	SystemHILOSXOnly System = "hilos-x"    // ablation: ANS + X-cache
+)
+
+// Systems returns every selectable system identifier.
+func Systems() []System {
+	return []System{
+		SystemFlexSSD, SystemFlexDRAM, SystemFlex16SSD, SystemDSUVM,
+		SystemVLLM, SystemHILOS, SystemHILOSANS, SystemHILOSWB, SystemHILOSXOnly,
+	}
+}
+
+// Simulator evaluates inference systems on a testbed. The zero value is not
+// usable; construct with NewSimulator or NewSimulatorWithTestbed.
+type Simulator struct {
+	tb device.Testbed
+}
+
+// NewSimulator returns a simulator on the default testbed.
+func NewSimulator() (*Simulator, error) {
+	return NewSimulatorWithTestbed(device.DefaultTestbed())
+}
+
+// NewSimulatorWithTestbed validates and adopts a custom testbed.
+func NewSimulatorWithTestbed(tb Testbed) (*Simulator, error) {
+	if err := tb.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{tb: tb}, nil
+}
+
+// Testbed returns the simulator's hardware configuration.
+func (s *Simulator) Testbed() Testbed { return s.tb }
+
+// Run simulates one system on a request. devices is the SmartSSD count for
+// HILOS variants (ignored by the baselines; pass 0 for the default 8).
+func (s *Simulator) Run(sys System, req Request, devices int) (Report, error) {
+	switch sys {
+	case SystemFlexSSD:
+		return baseline.FlexSSD(s.tb).Run(s.tb, req), nil
+	case SystemFlexDRAM:
+		return baseline.FlexDRAM(s.tb).Run(s.tb, req), nil
+	case SystemFlex16SSD:
+		return baseline.Flex16SSD(s.tb).Run(s.tb, req), nil
+	case SystemDSUVM:
+		return baseline.DeepSpeedUVM(s.tb).Run(s.tb, req), nil
+	case SystemVLLM:
+		return baseline.DefaultVLLM().Run(s.tb, req), nil
+	case SystemHILOS:
+		return core.Run(s.tb, req, core.DefaultOptions(devices)), nil
+	case SystemHILOSANS:
+		return core.Run(s.tb, req, core.Options{Devices: devices}), nil
+	case SystemHILOSWB:
+		return core.Run(s.tb, req, core.Options{Devices: devices, DelayedWriteback: true}), nil
+	case SystemHILOSXOnly:
+		return core.Run(s.tb, req, core.Options{Devices: devices, XCache: true, Alpha: -1}), nil
+	default:
+		return Report{}, fmt.Errorf("hilos: unknown system %q", sys)
+	}
+}
+
+// RunHILOS simulates HILOS with explicit options (ablations, fixed α,
+// custom spill intervals).
+func (s *Simulator) RunHILOS(req Request, opt HILOSOptions) Report {
+	return core.Run(s.tb, req, opt)
+}
+
+// ChooseAlpha runs the §4.2 cache scheduler for a workload point.
+func (s *Simulator) ChooseAlpha(m Model, batch, context, devices int) (float64, error) {
+	return core.ChooseAlpha(s.tb, m, batch, context, devices)
+}
+
+// EnergyPerToken integrates the Fig. 17(a) energy model over a report.
+// smartSSDs > 0 selects the NSP storage power model with that device count;
+// otherwise the four conventional SSDs are assumed.
+func (s *Simulator) EnergyPerToken(rep Report, smartSSDs int) (cpu, dram, gpu, ssd float64, err error) {
+	cfg := energy.Config{Storage: energy.PlainSSDs, Devices: 4}
+	if smartSSDs > 0 {
+		cfg = energy.Config{Storage: energy.SmartSSDs, Devices: smartSSDs, AccelPowerW: s.tb.SmartSSD.AccelPowerW}
+	}
+	b, err := energy.PerToken(s.tb, rep, cfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return b.CPU, b.DRAM, b.GPU, b.SSD, nil
+}
+
+// Experiments regenerates every table and figure of the paper's evaluation,
+// in paper order.
+func (s *Simulator) Experiments() []ExperimentTable {
+	r := experiments.Runner{TB: s.tb}
+	var out []ExperimentTable
+	for _, g := range experiments.Registry() {
+		out = append(out, g.Run(r))
+	}
+	return out
+}
+
+// ExperimentByID regenerates a single experiment ("fig10", "table3", ...).
+func (s *Simulator) ExperimentByID(id string) (ExperimentTable, error) {
+	g, err := experiments.ByID(id)
+	if err != nil {
+		return ExperimentTable{}, err
+	}
+	return g.Run(experiments.Runner{TB: s.tb}), nil
+}
+
+// ExperimentIDs lists the available experiment identifiers.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// AccuracySuite returns the Fig. 18(c) synthetic retrieval tasks.
+func AccuracySuite() []AccuracyTask { return longbench.Suite() }
+
+// RequestClass is a request shape (prompt and output lengths) from the
+// §6.6 workload study.
+type RequestClass = workload.Class
+
+// RequestClasses returns the Short/Medium/Long classes of §6.6.
+func RequestClasses() []RequestClass { return workload.Classes() }
+
+// NewWorkloadTrace draws n requests from the Azure-like offline mix
+// (60% short, 30% medium, 10% long), deterministically per seed.
+func NewWorkloadTrace(seed int64, n int) ([]RequestClass, error) {
+	g, err := workload.NewGenerator(seed, workload.AzureLikeMix())
+	if err != nil {
+		return nil, err
+	}
+	return g.Trace(n), nil
+}
+
+// AcceleratorTable3 returns the FPGA resource/performance model rows for
+// the given head dimension (Table 3 uses 128).
+func AcceleratorTable3(headDim int) ([]accel.Utilization, error) {
+	return accel.Table3(headDim)
+}
+
+// BacklogSummary is the outcome of running an offline request backlog.
+type BacklogSummary = serving.Summary
+
+// RunBacklog packs a request trace into same-shape batches of batchSize and
+// executes them serially on the selected system — the offline-inference
+// deployment model of the paper's introduction. devices applies to HILOS
+// variants.
+func (s *Simulator) RunBacklog(m Model, trace []RequestClass, batchSize int, sys System, devices int) (BacklogSummary, error) {
+	jobs := make([]serving.Job, len(trace))
+	for i, c := range trace {
+		jobs[i] = serving.Job{ID: i, Class: c}
+	}
+	batches, err := serving.PackByClass(jobs, batchSize)
+	if err != nil {
+		return BacklogSummary{}, err
+	}
+	engine := func(req pipeline.Request) pipeline.Report {
+		rep, err := s.Run(sys, req, devices)
+		if err != nil {
+			return pipeline.Report{OOM: true, Reason: err.Error()}
+		}
+		return rep
+	}
+	return serving.Evaluate(m, batches, engine)
+}

@@ -1,0 +1,150 @@
+package hilos
+
+import (
+	"testing"
+)
+
+func TestNewSimulator(t *testing.T) {
+	s, err := NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Testbed().GPU.Name == "" {
+		t.Error("testbed not populated")
+	}
+	bad := DefaultTestbed()
+	bad.GPU.EffFLOPS = 0
+	if _, err := NewSimulatorWithTestbed(bad); err == nil {
+		t.Error("invalid testbed accepted")
+	}
+}
+
+func TestModelsFacade(t *testing.T) {
+	if len(Models()) != 6 {
+		t.Errorf("Models() returned %d entries, want 6 (Table 2)", len(Models()))
+	}
+	m, err := ModelByName("OPT-66B")
+	if err != nil || m.Layers != 64 {
+		t.Errorf("ModelByName = %+v, %v", m, err)
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunAllSystems(t *testing.T) {
+	s, err := NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := ModelByName("OPT-66B")
+	req := Request{Model: m, Batch: 8, Context: 16384, OutputLen: 32}
+	for _, sys := range Systems() {
+		rep, err := s.Run(sys, req, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if !rep.OOM && rep.DecodeTokPerSec() <= 0 {
+			t.Errorf("%s: non-positive throughput", sys)
+		}
+	}
+	if _, err := s.Run(System("bogus"), req, 8); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestHILOSBeatsFlexSSDViaFacade(t *testing.T) {
+	s, _ := NewSimulator()
+	m, _ := ModelByName("OPT-66B")
+	req := Request{Model: m, Batch: 16, Context: 65536, OutputLen: 64}
+	base, _ := s.Run(SystemFlexSSD, req, 0)
+	h, _ := s.Run(SystemHILOS, req, 16)
+	if h.DecodeTokPerSec() <= base.DecodeTokPerSec() {
+		t.Error("HILOS not faster than FLEX(SSD) through the facade")
+	}
+}
+
+func TestChooseAlphaFacade(t *testing.T) {
+	s, _ := NewSimulator()
+	m, _ := ModelByName("OPT-66B")
+	a, err := s.ChooseAlpha(m, 16, 32768, 8)
+	if err != nil || a != 0.5 {
+		t.Errorf("ChooseAlpha = %v, %v; want 0.5", a, err)
+	}
+}
+
+func TestEnergyFacade(t *testing.T) {
+	s, _ := NewSimulator()
+	m, _ := ModelByName("OPT-30B")
+	req := Request{Model: m, Batch: 8, Context: 16384, OutputLen: 32}
+	rep, _ := s.Run(SystemHILOS, req, 8)
+	cpu, dram, gpu, ssd, err := s.EnergyPerToken(rep, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu <= 0 || dram <= 0 || gpu <= 0 || ssd <= 0 {
+		t.Errorf("energy components: %v %v %v %v", cpu, dram, gpu, ssd)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	s, _ := NewSimulator()
+	tab, err := s.ExperimentByID("table3")
+	if err != nil || len(tab.Rows) != 3 {
+		t.Errorf("ExperimentByID(table3) = %d rows, %v", len(tab.Rows), err)
+	}
+	if _, err := s.ExperimentByID("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(ExperimentIDs()) < 15 {
+		t.Errorf("only %d experiment IDs", len(ExperimentIDs()))
+	}
+}
+
+func TestAccuracySuiteFacade(t *testing.T) {
+	if len(AccuracySuite()) != 5 {
+		t.Errorf("AccuracySuite has %d tasks, want 5", len(AccuracySuite()))
+	}
+}
+
+func TestAcceleratorTable3Facade(t *testing.T) {
+	rows, err := AcceleratorTable3(128)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("AcceleratorTable3 = %d rows, %v", len(rows), err)
+	}
+	if rows[0].DGroup != 1 || rows[2].DGroup != 5 {
+		t.Error("Table 3 rows out of order")
+	}
+}
+
+func TestRunBacklogFacade(t *testing.T) {
+	s, err := NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := ModelByName("OPT-30B")
+	trace, err := NewWorkloadTrace(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flex, err := s.RunBacklog(m, trace, 16, SystemFlexSSD, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hil, err := s.RunBacklog(m, trace, 16, SystemHILOS, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flex.Jobs != 20 || hil.Jobs != 20 {
+		t.Errorf("jobs = %d / %d, want 20", flex.Jobs, hil.Jobs)
+	}
+	if hil.MakespanSec >= flex.MakespanSec {
+		t.Errorf("HILOS backlog %.1fs not below FlexGen %.1fs", hil.MakespanSec, flex.MakespanSec)
+	}
+	if hil.OutputTokens != flex.OutputTokens {
+		t.Error("token accounting differs between engines")
+	}
+	if _, err := s.RunBacklog(m, nil, 16, SystemHILOS, 8); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

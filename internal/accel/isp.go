@@ -1,0 +1,55 @@
+package accel
+
+// ISPSpec describes the envisioned in-storage-processing device of §7.1
+// (Figure 18b): the attention accelerator synthesized as an ASIC inside the
+// SSD controller, with direct access to the flash channels and LPDDR5X.
+type ISPSpec struct {
+	// InternalFlashBW is the aggregate flash-channel bandwidth reachable by
+	// the in-controller accelerator (8 channels × 2000 MT/s = 16 GB/s).
+	InternalFlashBW float64
+	// DRAMBW is the LPDDR5X bandwidth (4 × 16 GB channels, 68 GB/s).
+	DRAMBW float64
+	// HostLinkBW is the PCIe 4.0 ×4 host link (8 GB/s).
+	HostLinkBW float64
+	// CapBytes is the NAND capacity (16 TB).
+	CapBytes int64
+	// AreaMM2 and PowerW are the synthesized accelerator overheads at the
+	// 8 nm-scaled node, 300 MHz, d_group = 1 (OpenROAD + CACTI in the
+	// paper; an analytical scaling model here).
+	AreaMM2 float64
+	PowerW  float64
+}
+
+// EnvisionedISP returns the §7.1 device parameters.
+func EnvisionedISP() ISPSpec {
+	return ISPSpec{
+		InternalFlashBW: 16e9,
+		DRAMBW:          68e9,
+		HostLinkBW:      8e9,
+		CapBytes:        16e12,
+		AreaMM2:         0.47,
+		PowerW:          1.13,
+	}
+}
+
+// EquivalentSmartSSDs returns how many SmartSSDs the ISP device matches on
+// each axis: internal storage bandwidth, internal memory bandwidth, and
+// host-interconnect bandwidth. §7.1 argues a single ISP unit closely matches
+// four SmartSSDs (16 GB/s vs 4×~4 GB/s internal lanes, 8 GB/s vs four ×4
+// links, 68 GB/s vs ~52 GB/s aggregate DDR4).
+func (i ISPSpec) EquivalentSmartSSDs(perDeviceInternalBW, perDeviceDRAMBW, perDeviceHostBW float64) (storage, memory, host float64) {
+	return i.InternalFlashBW / perDeviceInternalBW,
+		i.DRAMBW / perDeviceDRAMBW,
+		i.HostLinkBW / perDeviceHostBW
+}
+
+// ISPCycleModel returns a cycle model for the accelerator inside the ISP
+// device: the same pipeline, but fed from LPDDR5X and without the per-block
+// OpenCL dispatch overhead of the FPGA platform.
+func ISPCycleModel(dGroup, headDim int) CycleModel {
+	m := DefaultCycleModel(dGroup, headDim)
+	m.DRAMBW = EnvisionedISP().DRAMBW
+	m.ClockHz = 300e6
+	m.OverheadCycles = 100 // hardwired dispatch, no OpenCL/XRT round trip
+	return m
+}

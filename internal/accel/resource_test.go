@@ -1,0 +1,126 @@
+package accel
+
+import (
+	"math"
+	"testing"
+)
+
+// Table 3 measured rows.
+var table3Measured = []Utilization{
+	{DGroup: 1, LUTPct: 38.76, FFPct: 28.57, BRAMPct: 51.02, URAMPct: 9.38, DSPPct: 10.06, PeakGFLOPS: 11.9, PowerW: 11.25},
+	{DGroup: 4, LUTPct: 56.60, FFPct: 39.70, BRAMPct: 59.30, URAMPct: 9.38, DSPPct: 20.27, PeakGFLOPS: 46.8, PowerW: 15.39},
+	{DGroup: 5, LUTPct: 67.40, FFPct: 46.15, BRAMPct: 58.49, URAMPct: 9.38, DSPPct: 27.79, PeakGFLOPS: 56.3, PowerW: 16.08},
+}
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+func TestResourceModelFitsTable3(t *testing.T) {
+	rows, err := Table3(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Table3 returned %d rows", len(rows))
+	}
+	for i, m := range table3Measured {
+		got := rows[i]
+		checks := []struct {
+			name      string
+			got, want float64
+			tol       float64
+		}{
+			{"LUT", got.LUTPct, m.LUTPct, 0.06},
+			{"FF", got.FFPct, m.FFPct, 0.06},
+			{"BRAM", got.BRAMPct, m.BRAMPct, 0.06},
+			{"URAM", got.URAMPct, m.URAMPct, 0.001},
+			{"DSP", got.DSPPct, m.DSPPct, 0.10},
+			{"GFLOPS", got.PeakGFLOPS, m.PeakGFLOPS, 0.05},
+			{"Power", got.PowerW, m.PowerW, 0.03},
+		}
+		for _, c := range checks {
+			if relErr(c.got, c.want) > c.tol {
+				t.Errorf("d_group=%d %s: model %.2f vs Table 3 %.2f (tol %.0f%%)",
+					m.DGroup, c.name, c.got, c.want, c.tol*100)
+			}
+		}
+	}
+}
+
+func TestResourceMonotoneInDGroup(t *testing.T) {
+	r := DefaultResourceModel(128)
+	prev, err := r.Estimate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 2; g <= 6; g++ {
+		u, err := r.Estimate(g)
+		if err != nil {
+			t.Fatalf("d_group=%d: %v", g, err)
+		}
+		if u.LUTPct <= prev.LUTPct || u.DSPPct <= prev.DSPPct || u.PowerW <= prev.PowerW {
+			t.Errorf("resources not monotone at d_group=%d", g)
+		}
+		prev = u
+	}
+}
+
+func TestMaxDGroupBounded(t *testing.T) {
+	r := DefaultResourceModel(128)
+	max := r.MaxDGroup()
+	// The KU15P runs out of LUTs near d_group ≈ 9-10 under the fit; the
+	// platform must support at least the paper's d_group = 5.
+	if max < 5 {
+		t.Errorf("MaxDGroup = %d, must support the paper's d_group=5", max)
+	}
+	if max > 16 {
+		t.Errorf("MaxDGroup = %d implausibly large for a KU15P", max)
+	}
+	if _, err := r.Estimate(max + 1); err == nil {
+		t.Error("Estimate(max+1) did not fail")
+	}
+}
+
+func TestEstimateRejectsBadDGroup(t *testing.T) {
+	r := DefaultResourceModel(128)
+	if _, err := r.Estimate(0); err == nil {
+		t.Error("d_group=0 accepted")
+	}
+}
+
+// §6.2: "a full 16-accelerator deployment consumes approximately 258 W" at
+// d_group = 5 — comparable to a single mid-range GPU.
+func TestFleetPowerMatchesPaper(t *testing.T) {
+	r := DefaultResourceModel(128)
+	u, err := r.Estimate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := 16 * u.PowerW
+	if fleet < 245 || fleet > 270 {
+		t.Errorf("16-device power = %.1f W, paper reports ≈ 258 W", fleet)
+	}
+}
+
+func TestISPProjection(t *testing.T) {
+	isp := EnvisionedISP()
+	if isp.AreaMM2 != 0.47 || isp.PowerW != 1.13 {
+		t.Errorf("ISP area/power %v/%v, want 0.47 mm² / 1.13 W (§7.1)", isp.AreaMM2, isp.PowerW)
+	}
+	// §7.1: one ISP unit ≈ four SmartSSDs on the storage-bandwidth axis.
+	storage, memory, host := isp.EquivalentSmartSSDs(4e9, 19.2e9, 2e9)
+	if storage < 3.5 || storage > 4.5 {
+		t.Errorf("ISP storage equivalence = %.2f SmartSSDs, want ≈ 4", storage)
+	}
+	if memory < 3 || host < 3 {
+		t.Errorf("ISP memory/host equivalence %.2f/%.2f below ≈ 4", memory, host)
+	}
+}
+
+func TestISPCycleModelFaster(t *testing.T) {
+	fpga := DefaultCycleModel(1, 128)
+	isp := ISPCycleModel(1, 128)
+	s := 32 * 1024
+	if isp.KernelTime(s) >= fpga.KernelTime(s) {
+		t.Error("ISP kernel not faster than FPGA kernel despite LPDDR5X")
+	}
+}

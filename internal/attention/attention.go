@@ -1,0 +1,286 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Ref computes exact multi-head attention for a single head:
+// softmax(q·Kᵀ/√d)·V for each query row of q. K and V have one row per
+// cached token; mask (optional, len == K.Rows) marks valid positions.
+// This is the golden reference every optimized path is tested against.
+func Ref(q, k, v tensor.Mat, mask []bool) tensor.Mat {
+	d := q.Cols
+	if k.Cols != d {
+		panic(fmt.Sprintf("attention: q dim %d != k dim %d", d, k.Cols))
+	}
+	if k.Rows != v.Rows {
+		panic(fmt.Sprintf("attention: k rows %d != v rows %d", k.Rows, v.Rows))
+	}
+	scale := float32(1 / math.Sqrt(float64(d)))
+	out := tensor.New(q.Rows, v.Cols)
+	scores := make([]float32, k.Rows)
+	for qi := 0; qi < q.Rows; qi++ {
+		qrow := q.Row(qi)
+		for ki := 0; ki < k.Rows; ki++ {
+			s := tensor.Dot(qrow, k.Row(ki)) * scale
+			scores[ki] = applyMask(s, mask, ki)
+		}
+		p := SoftmaxRef(scores)
+		orow := out.Row(qi)
+		for ki, w := range p {
+			if w == 0 {
+				continue
+			}
+			vrow := v.Row(ki)
+			for j := range orow {
+				orow[j] += w * vrow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Scores returns the scaled q·Kᵀ score matrix (one row per query) without
+// softmax. Used by the delayed-writeback host precompute (§4.3), where the
+// CPU computes partial QKᵀ products over the buffered keys.
+func Scores(q, k tensor.Mat) tensor.Mat {
+	d := q.Cols
+	scale := float32(1 / math.Sqrt(float64(d)))
+	out := tensor.New(q.Rows, k.Rows)
+	for qi := 0; qi < q.Rows; qi++ {
+		qrow := q.Row(qi)
+		orow := out.Row(qi)
+		for ki := 0; ki < k.Rows; ki++ {
+			orow[ki] = tensor.Dot(qrow, k.Row(ki)) * scale
+		}
+	}
+	return out
+}
+
+// Partial is an un-normalized attention partial result: for one query, the
+// running softmax statistics plus the weighted value accumulator
+// acc = Σ exp(score_i − M)·v_i. Two Partials over disjoint token ranges can
+// be merged into the exact full-range result; this identity is what lets the
+// delayed-writeback path split attention between the NSP accelerator
+// (storage-resident tokens) and the host (buffered tokens).
+type Partial struct {
+	Stats Stats
+	Acc   []float32 // length = value dimension
+}
+
+// NewPartial returns an identity partial for value dimension dv.
+func NewPartial(dv int) Partial {
+	return Partial{Stats: NewStats(), Acc: make([]float32, dv)}
+}
+
+// AddToken folds one (score, value-row) pair into the partial.
+func (p *Partial) AddToken(score float32, vrow []float32) {
+	s := float64(score)
+	if s > p.Stats.M {
+		r := math.Exp(p.Stats.M - s)
+		for i := range p.Acc {
+			p.Acc[i] = float32(float64(p.Acc[i]) * r)
+		}
+		p.Stats.Z = p.Stats.Z * r
+		p.Stats.M = s
+	}
+	w := math.Exp(s - p.Stats.M)
+	p.Stats.Z += w
+	for i := range p.Acc {
+		p.Acc[i] += float32(w * float64(vrow[i]))
+	}
+}
+
+// Merge folds another partial (over a disjoint token range) into p.
+func (p *Partial) Merge(o Partial) {
+	if len(p.Acc) != len(o.Acc) {
+		panic("attention: partial dim mismatch")
+	}
+	if math.IsInf(o.Stats.M, -1) {
+		return
+	}
+	if o.Stats.M > p.Stats.M {
+		r := math.Exp(p.Stats.M - o.Stats.M)
+		for i := range p.Acc {
+			p.Acc[i] = float32(float64(p.Acc[i])*r + float64(o.Acc[i]))
+		}
+		p.Stats.Z = p.Stats.Z*r + o.Stats.Z
+		p.Stats.M = o.Stats.M
+	} else {
+		r := math.Exp(o.Stats.M - p.Stats.M)
+		for i := range p.Acc {
+			p.Acc[i] += float32(float64(o.Acc[i]) * r)
+		}
+		p.Stats.Z += o.Stats.Z * r
+	}
+}
+
+// Finalize returns the normalized attention output acc/Z.
+func (p Partial) Finalize() []float32 {
+	out := make([]float32, len(p.Acc))
+	if p.Stats.Z == 0 {
+		return out
+	}
+	for i, a := range p.Acc {
+		out[i] = float32(float64(a) / p.Stats.Z)
+	}
+	return out
+}
+
+// PartialFromScores builds a partial for one query from precomputed scaled
+// scores and the corresponding value rows (the host side of the delayed
+// writeback, Fig. 6b steps 2-4).
+func PartialFromScores(scores []float32, v tensor.Mat) Partial {
+	if len(scores) != v.Rows {
+		panic("attention: scores/value length mismatch")
+	}
+	p := NewPartial(v.Cols)
+	for i, s := range scores {
+		p.AddToken(s, v.Row(i))
+	}
+	return p
+}
+
+// Blocked computes attention with the accelerator's streaming block dataflow:
+// K/V are consumed in blocks of blockSize tokens, per-block statistics are
+// folded via the streaming update unit, and the value accumulator is rescaled
+// online. Output matches Ref within FP32 tolerance for any blockSize ≥ 1.
+func Blocked(q, k, v tensor.Mat, mask []bool, blockSize int) tensor.Mat {
+	if blockSize <= 0 {
+		blockSize = 128
+	}
+	d := q.Cols
+	scale := float32(1 / math.Sqrt(float64(d)))
+	out := tensor.New(q.Rows, v.Cols)
+	for qi := 0; qi < q.Rows; qi++ {
+		qrow := q.Row(qi)
+		p := NewPartial(v.Cols)
+		for lo := 0; lo < k.Rows; lo += blockSize {
+			hi := lo + blockSize
+			if hi > k.Rows {
+				hi = k.Rows
+			}
+			for ki := lo; ki < hi; ki++ {
+				s := tensor.Dot(qrow, k.Row(ki)) * scale
+				p.AddToken(applyMask(s, mask, ki), v.Row(ki))
+			}
+		}
+		copy(out.Row(qi), p.Finalize())
+	}
+	return out
+}
+
+// GQA computes grouped-query attention: dGroup query heads share one K/V
+// cache. q holds dGroup query rows (one per head in the group); the shared
+// k/v cache is read once, matching the accelerator's broadcast to
+// dGroup×128 MAC units. Output has dGroup rows.
+func GQA(q, k, v tensor.Mat, mask []bool, blockSize int) tensor.Mat {
+	// Functionally GQA over a shared cache is per-query attention; the
+	// sharing matters for the memory system, which the cycle model captures.
+	return Blocked(q, k, v, mask, blockSize)
+}
+
+// TopK computes lossy sparse attention retaining only the kTop
+// highest-scoring cached tokens per query (the InstAttention-style lossy KV
+// retrieval proxy used in Fig. 18c). kTop ≥ k.Rows degenerates to exact.
+func TopK(q, k, v tensor.Mat, mask []bool, kTop int) tensor.Mat {
+	d := q.Cols
+	scale := float32(1 / math.Sqrt(float64(d)))
+	out := tensor.New(q.Rows, v.Cols)
+	for qi := 0; qi < q.Rows; qi++ {
+		qrow := q.Row(qi)
+		scores := make([]float32, k.Rows)
+		for ki := 0; ki < k.Rows; ki++ {
+			scores[ki] = applyMask(tensor.Dot(qrow, k.Row(ki))*scale, mask, ki)
+		}
+		keep := topKIndices(scores, kTop)
+		p := NewPartial(v.Cols)
+		for _, ki := range keep {
+			p.AddToken(scores[ki], v.Row(ki))
+		}
+		copy(out.Row(qi), p.Finalize())
+	}
+	return out
+}
+
+// TopKBlocks computes lossy sparse attention with block-granular KV
+// retrieval: the cache is split into blocks of blockSize tokens, each block
+// is ranked by its mean score (the pooled metadata a sparse-retrieval
+// engine keeps instead of exact per-token scores), and only the keepBlocks
+// highest-ranked blocks participate in attention. This is the
+// InstAttention-style lossy compression proxy of Fig. 18(c): evidence
+// sitting in low-pooled-score blocks is silently dropped.
+func TopKBlocks(q, k, v tensor.Mat, mask []bool, keepBlocks, blockSize int) tensor.Mat {
+	if blockSize <= 0 {
+		blockSize = 16
+	}
+	d := q.Cols
+	scale := float32(1 / math.Sqrt(float64(d)))
+	nBlocks := (k.Rows + blockSize - 1) / blockSize
+	out := tensor.New(q.Rows, v.Cols)
+	for qi := 0; qi < q.Rows; qi++ {
+		qrow := q.Row(qi)
+		scores := make([]float32, k.Rows)
+		for ki := 0; ki < k.Rows; ki++ {
+			scores[ki] = applyMask(tensor.Dot(qrow, k.Row(ki))*scale, mask, ki)
+		}
+		blockScore := make([]float32, nBlocks)
+		for b := 0; b < nBlocks; b++ {
+			lo, hi := b*blockSize, (b+1)*blockSize
+			if hi > k.Rows {
+				hi = k.Rows
+			}
+			var sum float32
+			for i := lo; i < hi; i++ {
+				sum += scores[i]
+			}
+			blockScore[b] = sum / float32(hi-lo)
+		}
+		keep := topKIndices(blockScore, keepBlocks)
+		p := NewPartial(v.Cols)
+		for _, b := range keep {
+			lo, hi := b*blockSize, (b+1)*blockSize
+			if hi > k.Rows {
+				hi = k.Rows
+			}
+			for i := lo; i < hi; i++ {
+				p.AddToken(scores[i], v.Row(i))
+			}
+		}
+		copy(out.Row(qi), p.Finalize())
+	}
+	return out
+}
+
+// topKIndices returns the indices of the k largest scores (k clamped to
+// len(scores)) via selection over a copy; order of returned indices is
+// unspecified.
+func topKIndices(scores []float32, k int) []int {
+	if k >= len(scores) {
+		idx := make([]int, len(scores))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Simple O(n·k) selection: adequate for test-scale sequences.
+	keep := make([]int, 0, k)
+	used := make([]bool, len(scores))
+	for n := 0; n < k; n++ {
+		best, bi := float32(math.Inf(-1)), -1
+		for i, s := range scores {
+			if !used[i] && s > best {
+				best, bi = s, i
+			}
+		}
+		used[bi] = true
+		keep = append(keep, bi)
+	}
+	return keep
+}

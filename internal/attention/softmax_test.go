@@ -1,0 +1,166 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int, sigma float64) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64() * sigma)
+	}
+	return v
+}
+
+func maxAbsDiff32(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSoftmaxRefSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 17, 256} {
+		p := SoftmaxRef(randVec(rng, n, 3))
+		var s float64
+		for _, v := range p {
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Errorf("n=%d: softmax sums to %v", n, s)
+		}
+	}
+}
+
+// Algorithm 1 (two-pass) must match the three-pass reference for every block
+// size, including blocks that do not divide the length.
+func TestTwoPassMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 5, 127, 128, 129, 1000} {
+		x := randVec(rng, n, 5)
+		want := SoftmaxRef(x)
+		for _, bs := range []int{1, 7, 128, 4096} {
+			got := SoftmaxTwoPass(x, nil, bs)
+			if d := maxAbsDiff32(got, want); d > 1e-6 {
+				t.Errorf("n=%d bs=%d: two-pass differs by %v", n, bs, d)
+			}
+		}
+	}
+}
+
+// Softmax is shift-invariant: softmax(x + c) == softmax(x).
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	f := func(seed int64, shift float32) bool {
+		if math.IsNaN(float64(shift)) || math.Abs(float64(shift)) > 50 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := randVec(rng, 64, 2)
+		y := make([]float32, len(x))
+		for i := range x {
+			y[i] = x[i] + shift
+		}
+		return maxAbsDiff32(SoftmaxTwoPass(x, nil, 16), SoftmaxTwoPass(y, nil, 16)) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	// Large inputs must not overflow thanks to the max subtraction.
+	x := []float32{1e4, 1e4 - 1, 0}
+	for _, p := range [][]float32{SoftmaxRef(x), SoftmaxTwoPass(x, nil, 2)} {
+		for i, v := range p {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("element %d not finite: %v", i, v)
+			}
+		}
+		if p[0] <= p[1] || p[1] <= p[2] {
+			t.Errorf("ordering not preserved: %v", p)
+		}
+	}
+}
+
+func TestSoftmaxMasking(t *testing.T) {
+	x := []float32{1, 100, 2}
+	mask := []bool{true, false, true}
+	p := SoftmaxTwoPass(x, mask, 2)
+	if p[1] > 1e-6 {
+		t.Errorf("masked element weight %v, want ~0", p[1])
+	}
+	// Remaining mass matches softmax over the unmasked elements.
+	ref := SoftmaxRef([]float32{1, 2})
+	if math.Abs(float64(p[0]-ref[0])) > 1e-4 || math.Abs(float64(p[2]-ref[1])) > 1e-4 {
+		t.Errorf("masked softmax %v vs ref %v", p, ref)
+	}
+}
+
+func TestStatsUpdateMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randVec(rng, 300, 4)
+	// Direct global stats.
+	var gm float64 = math.Inf(-1)
+	for _, v := range x {
+		if float64(v) > gm {
+			gm = float64(v)
+		}
+	}
+	var gz float64
+	for _, v := range x {
+		gz += math.Exp(float64(v) - gm)
+	}
+	// Streaming over uneven blocks.
+	st := NewStats()
+	for lo := 0; lo < len(x); lo += 37 {
+		hi := lo + 37
+		if hi > len(x) {
+			hi = len(x)
+		}
+		mB, sB := BlockStats(x[lo:hi], nil)
+		st.UpdateBlock(mB, sB)
+	}
+	if st.M != gm {
+		t.Errorf("streaming max %v != %v", st.M, gm)
+	}
+	if math.Abs(st.Z-gz)/gz > 1e-12 {
+		t.Errorf("streaming Z %v != %v", st.Z, gz)
+	}
+}
+
+func TestStatsMergeCommutative(t *testing.T) {
+	f := func(m1, z1, m2, z2 float64) bool {
+		if math.IsNaN(m1) || math.IsNaN(m2) || z1 < 0 || z2 < 0 {
+			return true
+		}
+		m1, m2 = math.Mod(m1, 100), math.Mod(m2, 100)
+		z1, z2 = math.Mod(math.Abs(z1), 1e6)+1e-9, math.Mod(math.Abs(z2), 1e6)+1e-9
+		a := Stats{M: m1, Z: z1}
+		a.Merge(Stats{M: m2, Z: z2})
+		b := Stats{M: m2, Z: z2}
+		b.Merge(Stats{M: m1, Z: z1})
+		return math.Abs(a.M-b.M) < 1e-12 && math.Abs(a.Z-b.Z) <= 1e-9*math.Abs(a.Z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullyMaskedBlock(t *testing.T) {
+	mB, sB := BlockStats([]float32{5, 6}, []bool{false, false})
+	st := NewStats()
+	st.UpdateBlock(mB, sB)
+	// MaskValue keeps the block finite but negligible once real data arrives.
+	st.UpdateBlock(0, 1)
+	if math.Abs(st.Z-1) > 1e-6 {
+		t.Errorf("masked block contaminated stats: Z=%v", st.Z)
+	}
+}

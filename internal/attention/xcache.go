@@ -1,0 +1,113 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Projections holds a layer's attention projection weights for one head
+// group. Shapes: Wq, Wk, Wv are hidden×d (column blocks of the full
+// projection matrices).
+type Projections struct {
+	Wq, Wk, Wv tensor.Mat
+}
+
+// ProjectQKV computes Q = X·Wq, K = X·Wk, V = X·Wv (Equation 1). Results are
+// quantized through FP16 to emulate storage precision, matching what the
+// accelerator reads back from flash.
+func ProjectQKV(x tensor.Mat, p Projections) (q, k, v tensor.Mat) {
+	q = tensor.MatMul(x, p.Wq).RoundFP16()
+	k = tensor.MatMul(x, p.Wk).RoundFP16()
+	v = tensor.MatMul(x, p.Wv).RoundFP16()
+	return q, k, v
+}
+
+// RegenerateKV recomputes K and V from the cached pre-projection activations
+// X (the cooperative X-cache, §4.2). Because X is stored in FP16, the
+// regenerated tensors equal the originally stored K/V exactly when the
+// projection is performed with the same arithmetic.
+func RegenerateKV(x tensor.Mat, p Projections) (k, v tensor.Mat) {
+	k = tensor.MatMul(x, p.Wk).RoundFP16()
+	v = tensor.MatMul(x, p.Wv).RoundFP16()
+	return k, v
+}
+
+// XCacheAttend computes attention for one head where the historical context
+// is stored as X (pre-projection activations) rather than K/V: it regenerates
+// K and V on the "GPU" and then attends. The output is bit-identical to
+// attending over the stored K/V produced by ProjectQKV from the same X.
+func XCacheAttend(q, x tensor.Mat, p Projections, mask []bool, blockSize int) tensor.Mat {
+	k, v := RegenerateKV(x, p)
+	return Blocked(q, k, v, mask, blockSize)
+}
+
+// SplitHeads partitions the batch×head dimension for cooperative execution:
+// given n total (batch, head) pairs and an X-cache ratio alpha, it returns
+// how many pairs the GPU handles via X-cache (nX) and how many stay on the
+// NSP devices (nKV). alpha partitions batch and head dimensions, never the
+// sequence dimension (§4.2).
+func SplitHeads(n int, alpha float64) (nX, nKV int, err error) {
+	if alpha < 0 || alpha > 1 {
+		return 0, 0, fmt.Errorf("attention: alpha %v out of [0,1]", alpha)
+	}
+	nX = int(float64(n)*alpha + 0.5)
+	if nX > n {
+		nX = n
+	}
+	return nX, n - nX, nil
+}
+
+// DelayedWriteback models the §4.3 decode-time split for a single query:
+//
+//   - kOld/vOld: the KV prefix already committed to storage, processed by the
+//     NSP accelerator.
+//   - kBuf/vBuf: recent tokens still buffered in host memory. The host CPU
+//     precomputes their scaled QKᵀ scores and ships only the scalars plus the
+//     buffered V rows to the accelerator (Fig. 6b).
+//
+// The accelerator merges both partials into the exact attention output over
+// the concatenated cache.
+func DelayedWriteback(q tensor.Mat, kOld, vOld, kBuf, vBuf tensor.Mat, mask []bool, blockSize int) tensor.Mat {
+	if q.Rows != 1 {
+		// The decode path issues one query per (batch, head) pair.
+		out := tensor.New(q.Rows, vOld.Cols)
+		for i := 0; i < q.Rows; i++ {
+			r := DelayedWriteback(q.SliceRows(i, i+1), kOld, vOld, kBuf, vBuf, mask, blockSize)
+			copy(out.Row(i), r.Row(0))
+		}
+		return out
+	}
+	// Storage-side partial (accelerator).
+	pStore := partialOverRange(q.Row(0), kOld, vOld, mask, 0, blockSize)
+	// Host-side partial from precomputed scores (CPU precompute of QKᵀ).
+	scores := Scores(q, kBuf)
+	bufScores := scores.Row(0)
+	if mask != nil {
+		for i := range bufScores {
+			bufScores[i] = applyMask(bufScores[i], mask, kOld.Rows+i)
+		}
+	}
+	pBuf := PartialFromScores(bufScores, vBuf)
+	pStore.Merge(pBuf)
+	out := tensor.New(1, vOld.Cols)
+	copy(out.Row(0), pStore.Finalize())
+	return out
+}
+
+// partialOverRange computes the un-normalized partial for one query over all
+// rows of k/v, applying mask entries offset..offset+k.Rows.
+func partialOverRange(qrow []float32, k, v tensor.Mat, mask []bool, offset, blockSize int) Partial {
+	if blockSize <= 0 {
+		blockSize = 128
+	}
+	d := len(qrow)
+	scale := float32(1 / math.Sqrt(float64(d)))
+	p := NewPartial(v.Cols)
+	for ki := 0; ki < k.Rows; ki++ {
+		s := tensor.Dot(qrow, k.Row(ki)) * scale
+		p.AddToken(applyMask(s, mask, offset+ki), v.Row(ki))
+	}
+	return p
+}

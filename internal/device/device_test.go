@@ -1,0 +1,124 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTestbedValid(t *testing.T) {
+	if err := DefaultTestbed().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPURoofline(t *testing.T) {
+	g := A100()
+	// Compute-bound op: time set by FLOPs.
+	tc := g.ComputeTime(g.EffFLOPS, 0)
+	if math.Abs(tc-1) > 1e-9 {
+		t.Errorf("compute-bound time = %v, want 1", tc)
+	}
+	// Memory-bound op: time set by bytes.
+	tm := g.ComputeTime(1, g.HBMBW)
+	if math.Abs(tm-1) > 1e-9 {
+		t.Errorf("memory-bound time = %v, want 1", tm)
+	}
+	// Roofline is the max of the two.
+	if got := g.ComputeTime(g.EffFLOPS, 2*g.HBMBW); math.Abs(got-2) > 1e-9 {
+		t.Errorf("roofline time = %v, want 2", got)
+	}
+}
+
+func TestEffectiveWriteBW(t *testing.T) {
+	s := DefaultTestbed().PlainSSD
+	// Page-aligned writes see full bandwidth.
+	if bw := s.EffectiveWriteBW(s.PageBytes); bw != s.WriteBW {
+		t.Errorf("page write BW = %v, want %v", bw, s.WriteBW)
+	}
+	if bw := s.EffectiveWriteBW(16 * s.PageBytes); bw != s.WriteBW {
+		t.Errorf("large write BW = %v, want %v", bw, s.WriteBW)
+	}
+	// A 256-byte KV entry into 4 KiB pages wastes 15/16 of the bandwidth
+	// (the §4.3 motivation for delayed writeback).
+	got := s.EffectiveWriteBW(256)
+	want := s.WriteBW / 16
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("256B write BW = %v, want %v", got, want)
+	}
+}
+
+func TestWriteAmplification(t *testing.T) {
+	s := DefaultTestbed().PlainSSD
+	if w := s.WriteAmplification(256); w != 16 {
+		t.Errorf("WAF(256) = %v, want 16", w)
+	}
+	if w := s.WriteAmplification(4096); w != 1 {
+		t.Errorf("WAF(4096) = %v, want 1", w)
+	}
+	if w := s.WriteAmplification(0); w != 1 {
+		t.Errorf("WAF(0) = %v, want 1", w)
+	}
+}
+
+// Effective write bandwidth is monotone non-decreasing in chunk size and
+// never exceeds the sequential rate.
+func TestEffectiveWriteBWMonotone(t *testing.T) {
+	s := DefaultTestbed().PlainSSD
+	f := func(a, b uint16) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		bx, by := s.EffectiveWriteBW(x), s.EffectiveWriteBW(y)
+		return bx <= by+1e-9 && by <= s.WriteBW+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTestbedCalibrationShape(t *testing.T) {
+	tb := DefaultTestbed()
+	// The paper's FLEX(16 PCIe 3.0 SSDs) underperforms FLEX(4 PCIe 4.0)
+	// because the chassis uplink is below the dedicated aggregate.
+	dedicated := 4 * tb.PlainSSD.ReadBW
+	if tb.Topo.StorageUplink.BW >= dedicated {
+		t.Errorf("chassis uplink %v not below 4×PM9A3 %v; Fig. 10's 16-SSD baseline shape would invert", tb.Topo.StorageUplink.BW, dedicated)
+	}
+	// 16 SmartSSD internal paths must exceed both (the NSP advantage).
+	internal := 16 * tb.SmartSSD.InternalReadBW
+	if internal <= dedicated {
+		t.Errorf("16×internal %v not above 4×PM9A3 %v", internal, dedicated)
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	tb := DefaultTestbed()
+	tb.KVReadDerate = 0
+	if err := tb.Validate(); err == nil {
+		t.Error("zero derate accepted")
+	}
+	tb = DefaultTestbed()
+	tb.BaselineOverlap = 1
+	if err := tb.Validate(); err == nil {
+		t.Error("overlap=1 accepted")
+	}
+	tb = DefaultTestbed()
+	tb.GPU.EffFLOPS = 0
+	if err := tb.Validate(); err == nil {
+		t.Error("zero GPU rate accepted")
+	}
+}
+
+func TestGPUPresets(t *testing.T) {
+	if H100().EffFLOPS <= A100().EffFLOPS {
+		t.Error("H100 not faster than A100")
+	}
+	if A6000().MemBytes != 48*GiB {
+		t.Error("A6000 memory wrong")
+	}
+	if A100().PriceUSD != 7000 || H100().PriceUSD != 30000 {
+		t.Error("GPU prices do not match §6.6")
+	}
+}

@@ -1,0 +1,102 @@
+package endurance
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Fig. 16(b): HILOS improves endurance by 1.34×–1.47× over the 16-SSD
+// baseline across request classes.
+func TestHILOSEnduranceGain(t *testing.T) {
+	flex := FlexWrites()
+	hilos := HILOSWrites(0.5, 16)
+	for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
+		for _, class := range workload.Classes() {
+			fb, err := flex.BytesPerRequest(m, class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hb, err := hilos.BytesPerRequest(m, class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gain := fb / hb
+			if gain < 1.25 || gain > 1.65 {
+				t.Errorf("%s/%s: endurance gain %.2f outside the paper's ≈1.34–1.47 band",
+					m.Name, class.Name, gain)
+			}
+		}
+	}
+}
+
+// §6.6: increasing c from 16 to 32 yields an additional 1.02×–1.05×.
+func TestSpillIntervalEnduranceGain(t *testing.T) {
+	c16 := HILOSWrites(0.5, 16)
+	c32 := HILOSWrites(0.5, 32)
+	var minGain, maxGain = 1e9, 0.0
+	for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
+		for _, class := range workload.Classes() {
+			b16, _ := c16.BytesPerRequest(m, class)
+			b32, _ := c32.BytesPerRequest(m, class)
+			g := b16 / b32
+			if g < 1 {
+				t.Errorf("%s/%s: c=32 wrote more than c=16", m.Name, class.Name)
+			}
+			if g < minGain {
+				minGain = g
+			}
+			if g > maxGain {
+				maxGain = g
+			}
+		}
+	}
+	if maxGain < 1.02 || maxGain > 1.10 {
+		t.Errorf("peak c=16→32 gain %.3f, paper reports 1.02–1.05", maxGain)
+	}
+}
+
+// §6.6: "Even for long requests with the 175B model, our system supports
+// over 4.08 million requests" on 16 SmartSSDs.
+func TestLongRequests175B(t *testing.T) {
+	n, err := ServiceableRequests(model.OPT175B, workload.Long, HILOSWrites(0.5, 16), 16, 7.008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 3.5e6 || n > 5.5e6 {
+		t.Errorf("serviceable long/175B requests = %.2fM, paper reports ≈ 4.08M", n/1e6)
+	}
+}
+
+// Write volume ordering: naive per-entry < coalesced < delayed writeback
+// never inverts; more output tokens always cost more.
+func TestWriteVolumeMonotonicity(t *testing.T) {
+	h := HILOSWrites(0.5, 16)
+	small, _ := h.BytesPerRequest(model.OPT66B, workload.Short)
+	large, _ := h.BytesPerRequest(model.OPT66B, workload.Long)
+	if large <= small {
+		t.Error("long request wrote no more than short")
+	}
+	f := FlexWrites()
+	fb, _ := f.BytesPerRequest(model.OPT66B, workload.Short)
+	hb, _ := h.BytesPerRequest(model.OPT66B, workload.Short)
+	if hb >= fb {
+		t.Error("HILOS writes not below FLEX")
+	}
+}
+
+func TestInvalidClass(t *testing.T) {
+	if _, err := FlexWrites().BytesPerRequest(model.OPT30B, workload.Class{}); err == nil {
+		t.Error("empty class accepted")
+	}
+	if _, err := ServiceableRequests(model.OPT30B, workload.Class{}, FlexWrites(), 16, 7.008); err == nil {
+		t.Error("ServiceableRequests accepted empty class")
+	}
+}
+
+func TestPBWBytes(t *testing.T) {
+	if PBWBytes(7.008) != 7.008e15 {
+		t.Errorf("PBWBytes = %v", PBWBytes(7.008))
+	}
+}

@@ -1,0 +1,70 @@
+package estimator
+
+import (
+	"testing"
+)
+
+func TestSweepCoverage(t *testing.T) {
+	pts := Sweep()
+	// 3 kernels × 4 sequence lengths (4K, 8K, 16K, 32K).
+	if len(pts) != 12 {
+		t.Fatalf("sweep has %d points, want 12", len(pts))
+	}
+	seen := map[int]bool{}
+	for _, p := range pts {
+		seen[p.DGroup] = true
+		if p.Estimated <= 0 || p.Measured <= 0 {
+			t.Errorf("non-positive time at d_group=%d s=%d", p.DGroup, p.Seq)
+		}
+	}
+	for _, dg := range []int{1, 4, 5} {
+		if !seen[dg] {
+			t.Errorf("kernel d_group=%d missing from sweep", dg)
+		}
+	}
+}
+
+// The estimator is optimistic (nominal DRAM efficiency, no dispatch
+// overhead), so it must always under-predict the measured time.
+func TestEstimatorOptimistic(t *testing.T) {
+	for _, p := range Sweep() {
+		if p.Estimated >= p.Measured {
+			t.Errorf("d_group=%d s=%d: estimate %.3gs not below measured %.3gs",
+				p.DGroup, p.Seq, p.Estimated, p.Measured)
+		}
+	}
+}
+
+// §5.1: the estimator achieves a high Pearson correlation with measured
+// throughput (the paper reports r = 0.93 on hardware).
+func TestCorrelationHigh(t *testing.T) {
+	r, err := Correlation(Sweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 {
+		t.Errorf("Pearson r = %.3f, want ≥ 0.9 (paper: 0.93)", r)
+	}
+	if r > 1.0001 {
+		t.Errorf("Pearson r = %.3f out of range", r)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	bad := []Point{{DGroup: 1, Seq: 4096, Estimated: 0, Measured: 1}}
+	if _, err := Correlation(bad); err == nil {
+		t.Error("zero estimate accepted")
+	}
+}
+
+func TestEstimateScalesWithSequence(t *testing.T) {
+	e4 := Estimate(1, 128, 4096)
+	e8 := Estimate(1, 128, 8192)
+	ratio := e8 / e4
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("estimate ratio 8K/4K = %.3f, want ≈ 2", ratio)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/endurance"
+	"repro/internal/energy"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Fig16a regenerates the cost-effectiveness study: tokens/s/$ normalized to
+// FLEX(SSD), across GPUs and models.
+func (r Runner) Fig16a() Table {
+	t := Table{
+		ID:      "fig16a",
+		Title:   "Cost efficiency (tok/s/$) normalized to FLEX(SSD) on the same GPU",
+		Headers: []string{"GPU", "model", "s", "FLEX(SSD)", "FLEX(DRAM)", "HILOS(4)", "HILOS(8)", "HILOS(16)"},
+		Notes: []string{
+			"paper: HILOS up to 2.02x on 66B; FLEX(DRAM) 1.53x when DRAM suffices; 1.68x on 175B",
+			"paper: H100 upgrade gives 1.39x speed but worse cost efficiency than HILOS",
+		},
+	}
+	for _, gpu := range []device.GPUSpec{device.A100(), device.H100()} {
+		tb := r.TB
+		tb.GPU = gpu
+		for _, m := range []model.Config{model.OPT66B, model.OPT175B} {
+			for _, s := range []int{16384, 32768} {
+				req := request(m, 16, s)
+				flexPrice := cost.FlexSystem(gpu).PriceUSD(tb)
+				base := cost.Efficiency(baseline.FlexSSD(tb).Run(tb, req).DecodeTokPerSec(), flexPrice)
+				row := []string{gpu.Name, m.Name, fmt.Sprintf("%dK", s/1024), "1.00x"}
+				dram := baseline.FlexDRAM(tb).Run(tb, req)
+				row = append(row, ratioOrOOM(cost.Efficiency(dram.DecodeTokPerSec(), flexPrice), base, dram.OOM))
+				for _, n := range []int{4, 8, 16} {
+					h := core.Run(tb, req, core.DefaultOptions(n))
+					eff := cost.Efficiency(h.DecodeTokPerSec(), cost.HILOSSystem(gpu, n).PriceUSD(tb))
+					row = append(row, ratioOrOOM(eff, base, h.OOM))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+	}
+	return t
+}
+
+// Fig16b regenerates the endurance study: total serviceable requests for 16
+// devices across request classes and model sizes.
+func (r Runner) Fig16b() Table {
+	t := Table{
+		ID:      "fig16b",
+		Title:   "Total serviceable requests (millions), 16 devices, 7.008 PBW each",
+		Headers: []string{"class", "model", "FLEX(16 SSDs)", "HILOS c=16", "HILOS c=32", "gain", "c16→c32"},
+		Notes: []string{
+			"paper: HILOS improves endurance 1.34-1.47x; c 16→32 adds 1.02-1.05x",
+			"paper: >4.08M long requests on the 175B model",
+		},
+	}
+	flex := endurance.FlexWrites()
+	h16 := endurance.HILOSWrites(0.5, 16)
+	h32 := endurance.HILOSWrites(0.5, 32)
+	for _, class := range workload.Classes() {
+		for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
+			nf, err := endurance.ServiceableRequests(m, class, flex, 16, r.TB.SmartSSD.SSD.PBW)
+			if err != nil {
+				t.Notes = append(t.Notes, "error: "+err.Error())
+				continue
+			}
+			n16, _ := endurance.ServiceableRequests(m, class, h16, 16, r.TB.SmartSSD.SSD.PBW)
+			n32, _ := endurance.ServiceableRequests(m, class, h32, 16, r.TB.SmartSSD.SSD.PBW)
+			t.Rows = append(t.Rows, []string{
+				class.Name, m.Name,
+				f2(nf / 1e6), f2(n16 / 1e6), f2(n32 / 1e6),
+				f2(n16 / nf), f2(n32 / n16),
+			})
+		}
+	}
+	return t
+}
+
+// Fig17a regenerates the energy-consumption breakdown per generated token.
+func (r Runner) Fig17a() Table {
+	t := Table{
+		ID:      "fig17a",
+		Title:   "Energy per generated token (J), by component",
+		Headers: []string{"model", "system", "CPU", "DRAM", "GPU", "SSD", "total", "vs FLEX(SSD)"},
+		Notes: []string{
+			"paper: FLEX(SSD) worst; HILOS cuts energy up to 85% despite higher SSD power",
+		},
+	}
+	for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
+		req := request(m, 16, 32768)
+		var baseTotal float64
+		type sys struct {
+			name string
+			run  func() (energy.Breakdown, error)
+		}
+		systems := []sys{
+			{"FLEX(SSD)", func() (energy.Breakdown, error) {
+				rep := baseline.FlexSSD(r.TB).Run(r.TB, req)
+				return energy.PerToken(r.TB, rep, energy.Config{Storage: energy.PlainSSDs, Devices: 4})
+			}},
+			{"FLEX(DRAM)", func() (energy.Breakdown, error) {
+				rep := baseline.FlexDRAM(r.TB).Run(r.TB, req)
+				return energy.PerToken(r.TB, rep, energy.Config{Storage: energy.PlainSSDs, Devices: 4})
+			}},
+		}
+		for _, n := range []int{4, 8, 16} {
+			n := n
+			systems = append(systems, sys{fmt.Sprintf("HILOS(%d SSDs)", n), func() (energy.Breakdown, error) {
+				rep := core.Run(r.TB, req, core.DefaultOptions(n))
+				return energy.PerToken(r.TB, rep, energy.Config{
+					Storage: energy.SmartSSDs, Devices: n, AccelPowerW: r.TB.SmartSSD.AccelPowerW,
+				})
+			}})
+		}
+		for i, s := range systems {
+			b, err := s.run()
+			if err != nil {
+				t.Rows = append(t.Rows, []string{m.Name, s.name, "-", "-", "-", "-", "OOM", "-"})
+				continue
+			}
+			if i == 0 {
+				baseTotal = b.Total()
+			}
+			t.Rows = append(t.Rows, []string{
+				m.Name, s.name,
+				f2(b.CPU), f2(b.DRAM), f2(b.GPU), f2(b.SSD), f2(b.Total()),
+				pct(b.Total() / baseTotal),
+			})
+		}
+	}
+	return t
+}
+
+// Fig17b regenerates the multi-node vLLM comparison on OPT-175B.
+func (r Runner) Fig17b() Table {
+	t := Table{
+		ID:      "fig17b",
+		Title:   "OPT-175B total throughput (tok/s) vs multi-node vLLM",
+		Headers: []string{"s", "FLEX(SSD)", "FLEX(DRAM)", "vLLM(8xA6000)", "HILOS(16)", "HILOS/vLLM"},
+		Notes: []string{
+			"paper: HILOS 1.64-1.81x over the 2-node 8-GPU vLLM deployment",
+		},
+	}
+	v := baseline.DefaultVLLM()
+	for _, s := range []int{16384, 32768} {
+		req := request(model.OPT175B, 16, s)
+		fs := baseline.FlexSSD(r.TB).Run(r.TB, req)
+		fd := baseline.FlexDRAM(r.TB).Run(r.TB, req)
+		vl := v.Run(r.TB, req)
+		h := core.Run(r.TB, req, core.DefaultOptions(16))
+		fdCell := "OOM"
+		if !fd.OOM {
+			fdCell = f3(fd.DecodeTokPerSec())
+		}
+		ratio := "-"
+		if vl.DecodeTokPerSec() > 0 {
+			ratio = f2(h.DecodeTokPerSec() / vl.DecodeTokPerSec())
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dK", s/1024),
+			f3(fs.DecodeTokPerSec()), fdCell,
+			f3(vl.DecodeTokPerSec()), f3(h.DecodeTokPerSec()), ratio,
+		})
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		want Bits
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},
+		{-65504, 0xFBFF},
+		{6.103515625e-05, 0x0400},       // smallest normal
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+		{float32(math.Inf(1)), 0x7C00},
+		{float32(math.Inf(-1)), 0xFC00},
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.want {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.want)
+		}
+		if !math.IsNaN(float64(c.f)) {
+			if back := ToFloat32(c.want); back != c.f {
+				t.Errorf("ToFloat32(%#04x) = %g, want %g", c.want, back, c.f)
+			}
+		}
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if got := FromFloat32(65520); got != infBits {
+		t.Errorf("FromFloat32(65520) = %#04x, want +Inf (%#04x)", got, infBits)
+	}
+	if got := FromFloat32(1e10); got != infBits {
+		t.Errorf("FromFloat32(1e10) = %#04x, want +Inf", got)
+	}
+	if got := FromFloat32(-1e10); got != infBits|signMask {
+		t.Errorf("FromFloat32(-1e10) = %#04x, want -Inf", got)
+	}
+}
+
+func TestNaNPreserved(t *testing.T) {
+	h := FromFloat32(float32(math.NaN()))
+	if IsFinite(h) || h&fracMask == 0 {
+		t.Errorf("NaN not preserved: %#04x", h)
+	}
+	if !math.IsNaN(float64(ToFloat32(h))) {
+		t.Errorf("ToFloat32(NaN bits) not NaN")
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if got := FromFloat32(1e-10); got != 0 {
+		t.Errorf("FromFloat32(1e-10) = %#04x, want 0", got)
+	}
+	if got := FromFloat32(-1e-10); got != signMask {
+		t.Errorf("FromFloat32(-1e-10) = %#04x, want -0", got)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; ties go to even (1).
+	f := float32(1) + float32(math.Ldexp(1, -11))
+	if got := Round(f); got != 1 {
+		t.Errorf("Round(1+2^-11) = %g, want 1 (round to even)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; ties to even (1+2^-9).
+	f = float32(1) + 3*float32(math.Ldexp(1, -11))
+	want := float32(1) + float32(math.Ldexp(1, -9))
+	if got := Round(f); got != want {
+		t.Errorf("Round(1+3*2^-11) = %g, want %g", got, want)
+	}
+}
+
+// TestRoundTripProperty checks that every representable half value survives a
+// float32 round trip unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	for b := 0; b < 1<<16; b++ {
+		h := Bits(b)
+		f := ToFloat32(h)
+		if math.IsNaN(float64(f)) {
+			continue // NaN payload need not be preserved bit-exactly
+		}
+		if got := FromFloat32(f); got != h {
+			t.Fatalf("round trip %#04x -> %g -> %#04x", h, f, got)
+		}
+	}
+}
+
+// TestRoundIdempotent: quantizing twice equals quantizing once.
+func TestRoundIdempotent(t *testing.T) {
+	f := func(x float32) bool {
+		a := Round(x)
+		if math.IsNaN(float64(a)) {
+			return math.IsNaN(float64(Round(a)))
+		}
+		return Round(a) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundErrorBound: relative quantization error of normal-range values is
+// at most one half ULP (2^-11 relative).
+func TestRoundErrorBound(t *testing.T) {
+	f := func(x float32) bool {
+		ax := float64(math.Abs(float64(x)))
+		if ax < minNormalF32 || ax > float64(MaxValue) || math.IsNaN(float64(x)) {
+			return true
+		}
+		r := Round(x)
+		rel := math.Abs(float64(r)-float64(x)) / ax
+		return rel <= float64(Eps)/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotone: quantization preserves ordering.
+func TestMonotone(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Round(a) <= Round(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundSlice(t *testing.T) {
+	s := []float32{1.0002441, -3.14159, 65504, 0}
+	RoundSlice(s)
+	for i, v := range s {
+		if Round(v) != v {
+			t.Errorf("element %d not quantized: %g", i, v)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip checks the core conversion invariants on arbitrary bit
+// patterns: idempotence, ordering preservation, and exact round trips for
+// representable values.
+func FuzzRoundTrip(f *testing.F) {
+	for _, seed := range []uint32{0, 1, 0x3F800000, 0x7F800000, 0x7FC00000, 0x80000000, 0x477FE000} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		x := math.Float32frombits(bits)
+		r := Round(x)
+		if math.IsNaN(float64(x)) {
+			if !math.IsNaN(float64(r)) {
+				t.Fatalf("NaN input produced %v", r)
+			}
+			return
+		}
+		// Idempotence.
+		if Round(r) != r {
+			t.Fatalf("Round not idempotent: %v -> %v -> %v", x, r, Round(r))
+		}
+		// The rounded value is representable: its half bits survive a trip.
+		h := FromFloat32(r)
+		if ToFloat32(h) != r {
+			t.Fatalf("rounded value %v not representable (bits %#04x)", r, h)
+		}
+		// Sign preservation (except for underflow-to-zero, where the sign
+		// of zero is kept too).
+		if math.Signbit(float64(x)) != math.Signbit(float64(r)) {
+			t.Fatalf("sign changed: %v -> %v", x, r)
+		}
+	})
+}
+
+// FuzzMonotone checks ordering preservation on arbitrary pairs.
+func FuzzMonotone(f *testing.F) {
+	f.Add(uint32(0x3F800000), uint32(0x40000000))
+	f.Fuzz(func(t *testing.T, a, b uint32) {
+		x, y := math.Float32frombits(a), math.Float32frombits(b)
+		if math.IsNaN(float64(x)) || math.IsNaN(float64(y)) {
+			return
+		}
+		if x > y {
+			x, y = y, x
+		}
+		if Round(x) > Round(y) {
+			t.Fatalf("ordering violated: Round(%v)=%v > Round(%v)=%v", x, Round(x), y, Round(y))
+		}
+	})
+}

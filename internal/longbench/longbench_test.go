@@ -1,0 +1,108 @@
+package longbench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+const seed = 42
+
+func TestSuiteShape(t *testing.T) {
+	if len(Suite()) != 5 {
+		t.Fatalf("suite has %d tasks, want 5 (Fig. 18c evaluates five datasets)", len(Suite()))
+	}
+}
+
+// Fig. 18(c) core claim: the HILOS accelerator is lossless — identical
+// accuracy to the FlashAttention reference on every dataset.
+func TestBlockedIsLossless(t *testing.T) {
+	for _, task := range Suite() {
+		ex, err := task.Score(seed, Exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, err := task.Score(seed, Blocked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex != bl {
+			t.Errorf("%s: blocked %.1f != exact %.1f (must be lossless)", task.Name, bl, ex)
+		}
+	}
+}
+
+// Fig. 18(c): InstAttention's 1/8 lossy compression degrades accuracy by
+// a few percentage points on long-context retrieval (paper: 3.52–5.73%p
+// average across LongBench datasets).
+func TestLossyDegrades(t *testing.T) {
+	var drops []float64
+	for _, task := range Suite() {
+		ex, err := task.Score(seed, Exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := task.Score(seed, LossyOneEighth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drops = append(drops, ex-lo)
+	}
+	mean := stats.Mean(drops)
+	if mean < 1.5 || mean > 9 {
+		t.Errorf("average lossy drop = %.2f%%p, paper band ≈ 3.5–5.7%%p", mean)
+	}
+	// No task may show lossy meaningfully beating exact.
+	for i, d := range drops {
+		if d < -1.5 {
+			t.Errorf("task %d: lossy beats exact by %.1f%%p", i, -d)
+		}
+	}
+}
+
+// Exact attention solves the tasks: high absolute scores.
+func TestExactAccuracyHigh(t *testing.T) {
+	for _, task := range Suite() {
+		ex, err := task.Score(seed, Exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex < 90 {
+			t.Errorf("%s: exact score %.1f below 90", task.Name, ex)
+		}
+	}
+}
+
+func TestScoreDeterministic(t *testing.T) {
+	task := Suite()[0]
+	a, _ := task.Score(7, Exact)
+	b, _ := task.Score(7, Exact)
+	if a != b {
+		t.Error("Score not deterministic for fixed seed")
+	}
+}
+
+func TestScoreValidation(t *testing.T) {
+	bad := Task{Seq: 4, Dim: 2, Vocab: 1, Reps: 0, Samples: 0}
+	if _, err := bad.Score(1, Exact); err == nil {
+		t.Error("degenerate task accepted")
+	}
+}
+
+func TestNormalizeRow(t *testing.T) {
+	row := []float32{3, 4, 0, 0}
+	normalizeRow(row)
+	var ss float64
+	for _, x := range row {
+		ss += float64(x) * float64(x)
+	}
+	if math.Abs(ss-4) > 1e-5 {
+		t.Errorf("normalized energy = %v, want dim=4", ss)
+	}
+	zero := []float32{0, 0}
+	normalizeRow(zero) // must not divide by zero
+	if zero[0] != 0 {
+		t.Error("zero vector mutated")
+	}
+}

@@ -1,0 +1,55 @@
+package model
+
+import "fmt"
+
+// Preset model configurations from Table 2 of the paper.
+var (
+	// OPT30B is OPT-30B: 48 layers, MHA.
+	OPT30B = Config{
+		Name: "OPT-30B", Layers: 48, Hidden: 7168, Intermediate: 28672,
+		Heads: 64, KVHeads: 64, DGroup: 1, MLPMatrices: 2,
+	}
+	// OPT66B is OPT-66B: 64 layers, MHA.
+	OPT66B = Config{
+		Name: "OPT-66B", Layers: 64, Hidden: 9216, Intermediate: 36864,
+		Heads: 72, KVHeads: 72, DGroup: 1, MLPMatrices: 2,
+	}
+	// OPT175B is OPT-175B: 96 layers, MHA; the paper's flagship workload.
+	OPT175B = Config{
+		Name: "OPT-175B", Layers: 96, Hidden: 12288, Intermediate: 49152,
+		Heads: 96, KVHeads: 96, DGroup: 1, MLPMatrices: 2,
+	}
+	// Qwen2532B is Qwen2.5-32B: dense with GQA (d_group = 5).
+	Qwen2532B = Config{
+		Name: "Qwen2.5-32B", Layers: 64, Hidden: 5120, Intermediate: 27648,
+		Heads: 40, KVHeads: 8, DGroup: 5, MLPMatrices: 3,
+	}
+	// Mixtral8x7B is Mixtral-8×7B: MoE (8 experts, 2 active) with GQA.
+	Mixtral8x7B = Config{
+		Name: "Mixtral-8x7B", Layers: 32, Hidden: 4096, Intermediate: 14336,
+		Heads: 32, KVHeads: 8, DGroup: 4,
+		Experts: 8, ActiveExperts: 2, MLPMatrices: 3,
+	}
+	// GLaM143B is GLaM-143B: MoE (64 experts on alternate layers, 2 active)
+	// with MHA.
+	GLaM143B = Config{
+		Name: "GLaM-143B", Layers: 32, Hidden: 4096, Intermediate: 16384,
+		Heads: 32, KVHeads: 32, DGroup: 1,
+		Experts: 64, ActiveExperts: 2, MoEEveryOther: true, MLPMatrices: 2,
+	}
+)
+
+// All returns every preset configuration in Table 2 order.
+func All() []Config {
+	return []Config{OPT30B, OPT66B, OPT175B, Qwen2532B, Mixtral8x7B, GLaM143B}
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Config, error) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown model %q", name)
+}

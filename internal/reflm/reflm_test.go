@@ -1,0 +1,173 @@
+package reflm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallParams(useRoPE bool) Params {
+	return Params{
+		Layers: 2, Hidden: 64, Heads: 4, KVHeads: 4, FFN: 128, Vocab: 50,
+		UseRoPE: useRoPE,
+	}
+}
+
+func gqaParams() Params {
+	return Params{
+		Layers: 2, Hidden: 64, Heads: 4, KVHeads: 2, FFN: 128, Vocab: 50,
+		UseRoPE: true,
+	}
+}
+
+func randPrompt(rng *rand.Rand, n, vocab int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = rng.Intn(vocab)
+	}
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := smallParams(true).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallParams(false)
+	bad.Heads = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-dividing heads accepted")
+	}
+	bad = smallParams(true)
+	bad.Hidden = 68 // head dim 17, odd: RoPE impossible
+	bad.Heads = 4
+	if err := bad.Validate(); err == nil {
+		t.Error("odd head dim with RoPE accepted")
+	}
+	bad = gqaParams()
+	bad.KVHeads = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-dividing KV heads accepted")
+	}
+}
+
+func TestReferenceDeterministic(t *testing.T) {
+	m, err := NewModel(smallParams(false), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	prompt := randPrompt(rng, 12, m.P.Vocab)
+	a, err := m.Generate(prompt, 8, Reference{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Generate(prompt, 8, Reference{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reference decode not deterministic at %d", i)
+		}
+	}
+	if len(a) != 8 {
+		t.Fatalf("generated %d tokens, want 8", len(a))
+	}
+}
+
+// The headline integration property: the full HILOS functional pipeline —
+// X-cache regeneration, accelerator attention, delayed writeback — decodes
+// the same greedy token stream as the reference engine.
+func TestHILOSMatchesReference(t *testing.T) {
+	configs := []struct {
+		name   string
+		params Params
+		engine HILOS
+	}{
+		{"ans-only", smallParams(false), HILOS{Alpha: 0, SpillInterval: 0}},
+		{"writeback", smallParams(false), HILOS{Alpha: 0, SpillInterval: 4}},
+		{"xcache-half", smallParams(false), HILOS{Alpha: 0.5, SpillInterval: 4}},
+		{"xcache-full", smallParams(false), HILOS{Alpha: 1, SpillInterval: 4}},
+		{"rope-mix", smallParams(true), HILOS{Alpha: 0.5, SpillInterval: 4}},
+		{"gqa", gqaParams(), HILOS{Alpha: 0.5, SpillInterval: 3}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			m, err := NewModel(cfg.params, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			prompt := randPrompt(rng, 10, m.P.Vocab)
+			want, err := m.Generate(prompt, 10, Reference{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Generate(prompt, 10, cfg.engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("token %d differs: hilos=%d reference=%d (full: %v vs %v)",
+						i, got[i], want[i], got, want)
+				}
+			}
+		})
+	}
+}
+
+// Several seeds: the equivalence is not an artifact of one weight draw.
+func TestHILOSMatchesReferenceAcrossSeeds(t *testing.T) {
+	for seed := int64(20); seed < 25; seed++ {
+		m, err := NewModel(smallParams(true), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + 100))
+		prompt := randPrompt(rng, 8, m.P.Vocab)
+		want, err := m.Generate(prompt, 6, Reference{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Generate(prompt, 6, HILOS{Alpha: 0.5, SpillInterval: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d token %d: hilos=%v reference=%v", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	m, _ := NewModel(smallParams(false), 1)
+	if _, err := m.Generate(nil, 4, Reference{}); err == nil {
+		t.Error("empty prompt accepted")
+	}
+	if _, err := m.Generate([]int{1}, 0, Reference{}); err == nil {
+		t.Error("zero output length accepted")
+	}
+	if _, err := m.Generate([]int{999}, 4, Reference{}); err == nil {
+		t.Error("out-of-vocab token accepted")
+	}
+	if _, err := m.Generate([]int{1}, 2, HILOS{Alpha: 2}); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if (Reference{}).Name() != "reference" {
+		t.Error("reference name")
+	}
+	if (HILOS{Alpha: 0.5, SpillInterval: 4}).Name() != "hilos(alpha=0.50,c=4)" {
+		t.Errorf("hilos name = %q", HILOS{Alpha: 0.5, SpillInterval: 4}.Name())
+	}
+}
+
+func TestNewModelValidates(t *testing.T) {
+	bad := smallParams(false)
+	bad.Vocab = 1
+	if _, err := NewModel(bad, 1); err == nil {
+		t.Error("vocab=1 accepted")
+	}
+}

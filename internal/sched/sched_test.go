@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalAlphaPaperFormula(t *testing.T) {
+	// ρ=2 reduces to α = 2·B_PCI/(B_SSD + B_PCI).
+	bSSD, bPCI := 51.2e9, 20e9
+	got := OptimalAlpha(2, bSSD, bPCI)
+	want := 2 * bPCI / (bSSD + bPCI)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("OptimalAlpha = %v, want %v", got, want)
+	}
+}
+
+// §6.4: "an approximate bandwidth ratio of B_SSD/B_PCI ≈ 3, where our
+// analytical model predicts an optimal α ≈ 50%".
+func TestPaperOperatingPoint(t *testing.T) {
+	bPCI := 20e9
+	bSSD := 3 * bPCI
+	a := OptimalAlpha(2, bSSD, bPCI)
+	if math.Abs(a-0.5) > 1e-12 {
+		t.Errorf("α at B_SSD/B_PCI=3 is %v, want 0.5", a)
+	}
+	if SnapAlpha(a) != 0.5 {
+		t.Errorf("snapped α = %v, want 0.5", SnapAlpha(a))
+	}
+}
+
+func TestOptimalAlphaBalancesPCIAndSSD(t *testing.T) {
+	f := func(r, s, p float64) bool {
+		rho := 1.1 + math.Mod(math.Abs(r), 3)
+		bSSD := 1e9 + math.Mod(math.Abs(s), 100e9)
+		bPCI := 1e9 + math.Mod(math.Abs(p), 100e9)
+		a := OptimalAlpha(rho, bSSD, bPCI)
+		if a >= 1 { // clamped; balance not reachable
+			return true
+		}
+		in := Inputs{SX: 1e12, Rho: rho, BPCI: bPCI, BSSD: bSSD, CGPU: 1e15, Hidden: 8192}
+		tp, ts := in.TPCI(a), in.TSSD(a)
+		return math.Abs(tp-ts) <= 1e-9*math.Max(tp, ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGQADisablesXCache(t *testing.T) {
+	// ρ < 1: KV is already smaller than X (e.g. Qwen2.5-32B, ρ=0.4).
+	if a := OptimalAlpha(0.4, 50e9, 20e9); a != 0 {
+		t.Errorf("α = %v for ρ<1, want 0", a)
+	}
+	in := Inputs{SX: 1e12, Rho: 0.4, BPCI: 20e9, BSSD: 50e9, CGPU: 1e14, Hidden: 5120}
+	a, err := Choose(in)
+	if err != nil || a != 0 {
+		t.Errorf("Choose for GQA = %v, %v; want 0", a, err)
+	}
+}
+
+func TestSnapAlpha(t *testing.T) {
+	cases := map[float64]float64{
+		0.02: 0, 0.1: 0.125, 0.2: 0.25, 0.45: 0.5, 0.56: 0.5, 0.7: 0.75, 0.95: 1,
+	}
+	for in, want := range cases {
+		if got := SnapAlpha(in); got != want {
+			t.Errorf("SnapAlpha(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// The chosen candidate must never be worse than any other candidate under
+// the cost model — the defining property of Choose.
+func TestChooseIsArgmin(t *testing.T) {
+	f := func(s, p float64) bool {
+		bSSD := 5e9 + math.Mod(math.Abs(s), 100e9)
+		bPCI := 5e9 + math.Mod(math.Abs(p), 40e9)
+		in := Inputs{SX: 2e12, Rho: 2, BPCI: bPCI, BSSD: bSSD, CGPU: 140e12, Hidden: 12288}
+		a, err := Choose(in)
+		if err != nil {
+			return false
+		}
+		ta := in.TEffective(a)
+		for _, c := range CandidateAlphas {
+			if in.TEffective(c) < ta-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// T_GPU stays below T_SSD at the paper's operating point (OPT-66B, s=32K,
+// bs=16, 8 SmartSSDs, A100 GEMM rate) — the premise that regeneration is
+// effectively hidden behind NSP attention.
+func TestRegenerationIsHidden(t *testing.T) {
+	// Per-layer X bytes: bs × s × h × 2.
+	sx := float64(16) * 32768 * 9216 * 2
+	in := Inputs{
+		SX:  sx,
+		Rho: 2, BPCI: 8.5e9, BSSD: 8 * 3.2e9, // B_SSD/B_PCI ≈ 3 (§6.4)
+		CGPU:   270e12, // A100 GEMM-class rate
+		Hidden: 9216,
+	}
+	a, err := Choose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0.5 {
+		t.Errorf("chosen α = %v; Fig. 13 finds α=50%% consistently best", a)
+	}
+	if in.TGPU(a) >= in.TSSD(a) {
+		t.Errorf("T_GPU %.3fs not below T_SSD %.3fs at α=%v", in.TGPU(a), in.TSSD(a), a)
+	}
+}
+
+func TestAlphaZeroIsNoOp(t *testing.T) {
+	in := Inputs{SX: 1e12, Rho: 2, BPCI: 20e9, BSSD: 50e9, CGPU: 1e14, Hidden: 8192}
+	if in.TPCI(0) != 0 || in.TGPU(0) != 0 {
+		t.Error("α=0 has nonzero PCI/GPU cost")
+	}
+	// All storage traffic is KV at α=0.
+	want := in.Rho * in.SX / in.BSSD
+	if math.Abs(in.TSSD(0)-want) > 1e-12 {
+		t.Errorf("TSSD(0) = %v, want %v", in.TSSD(0), want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Inputs{SX: -1, Rho: 2, BPCI: 1, BSSD: 1, CGPU: 1, Hidden: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative SX accepted")
+	}
+	if _, err := Choose(bad); err == nil {
+		t.Error("Choose accepted invalid inputs")
+	}
+}

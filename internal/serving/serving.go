@@ -1,0 +1,128 @@
+// Package serving is the offline-inference service layer the paper's
+// introduction motivates (benchmarking and large-scale information
+// extraction): it packs a trace of requests into fixed-size same-shape
+// batches — offline inference tolerates latency, so shape-homogeneous
+// batching maximizes weight reuse — and evaluates the plan on any simulated
+// engine, producing completion time and token accounting.
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Job is one queued request.
+type Job struct {
+	ID    int
+	Class workload.Class
+}
+
+// Batch groups same-class jobs executed together.
+type Batch struct {
+	Class workload.Class
+	Jobs  []int // job IDs
+}
+
+// PackByClass groups jobs of identical shape into batches of at most
+// batchSize, preserving arrival order within a class. Partial tail batches
+// are emitted (offline systems run them rather than wait).
+func PackByClass(jobs []Job, batchSize int) ([]Batch, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("serving: batch size must be ≥ 1, got %d", batchSize)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("serving: empty job list")
+	}
+	// Group by class name, stable.
+	byClass := map[string][]Job{}
+	var order []string
+	for _, j := range jobs {
+		if _, seen := byClass[j.Class.Name]; !seen {
+			order = append(order, j.Class.Name)
+		}
+		byClass[j.Class.Name] = append(byClass[j.Class.Name], j)
+	}
+	sort.Strings(order) // deterministic plan regardless of arrival interleaving
+
+	var out []Batch
+	for _, name := range order {
+		group := byClass[name]
+		for lo := 0; lo < len(group); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(group) {
+				hi = len(group)
+			}
+			b := Batch{Class: group[lo].Class}
+			for _, j := range group[lo:hi] {
+				b.Jobs = append(b.Jobs, j.ID)
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// Engine evaluates one batched request on a simulated system.
+type Engine func(pipeline.Request) pipeline.Report
+
+// Summary is the outcome of running a plan.
+type Summary struct {
+	Batches      int
+	Jobs         int
+	MakespanSec  float64 // serialized batch execution on one pipeline
+	OutputTokens int64
+	// PerClassSec attributes makespan to request classes.
+	PerClassSec map[string]float64
+	// OOMBatches counts batches the engine could not place.
+	OOMBatches int
+}
+
+// Throughput returns generated tokens per second over the makespan.
+func (s Summary) Throughput() float64 {
+	if s.MakespanSec <= 0 {
+		return 0
+	}
+	return float64(s.OutputTokens) / s.MakespanSec
+}
+
+// Evaluate runs every batch of the plan through the engine, serially (a
+// single inference pipeline, the paper's deployment model).
+func Evaluate(m model.Config, batches []Batch, run Engine) (Summary, error) {
+	if run == nil {
+		return Summary{}, fmt.Errorf("serving: nil engine")
+	}
+	if len(batches) == 0 {
+		return Summary{}, fmt.Errorf("serving: empty plan")
+	}
+	s := Summary{PerClassSec: map[string]float64{}}
+	for _, b := range batches {
+		req := pipeline.Request{
+			Model:     m,
+			Batch:     len(b.Jobs),
+			Context:   b.Class.Input,
+			OutputLen: b.Class.Output,
+		}
+		rep := run(req)
+		s.Batches++
+		s.Jobs += len(b.Jobs)
+		if rep.OOM {
+			s.OOMBatches++
+			continue
+		}
+		// The engine may have shrunk the batch; the remaining jobs need
+		// proportionally more passes.
+		passes := 1.0
+		if rep.Batch < len(b.Jobs) {
+			passes = float64(len(b.Jobs)) / float64(rep.Batch)
+		}
+		sec := rep.TotalSec(b.Class.Output) * passes
+		s.MakespanSec += sec
+		s.PerClassSec[b.Class.Name] += sec
+		s.OutputTokens += int64(len(b.Jobs)) * int64(b.Class.Output)
+	}
+	return s, nil
+}

@@ -1,0 +1,161 @@
+package serving
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func jobsFromTrace(trace []workload.Class) []Job {
+	jobs := make([]Job, len(trace))
+	for i, c := range trace {
+		jobs[i] = Job{ID: i, Class: c}
+	}
+	return jobs
+}
+
+func TestPackByClass(t *testing.T) {
+	jobs := []Job{
+		{0, workload.Short}, {1, workload.Long}, {2, workload.Short},
+		{3, workload.Short}, {4, workload.Long},
+	}
+	batches, err := PackByClass(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short: {0,2},{3}; Long: {1,4} → 3 batches (order: Long < Short).
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches, want 3", len(batches))
+	}
+	total := 0
+	for _, b := range batches {
+		if len(b.Jobs) > 2 {
+			t.Errorf("batch exceeds size: %v", b.Jobs)
+		}
+		for range b.Jobs {
+			total++
+		}
+		for _, id := range b.Jobs {
+			if jobs[id].Class.Name != b.Class.Name {
+				t.Errorf("job %d class %s in %s batch", id, jobs[id].Class.Name, b.Class.Name)
+			}
+		}
+	}
+	if total != len(jobs) {
+		t.Errorf("packed %d jobs, want %d", total, len(jobs))
+	}
+}
+
+func TestPackByClassErrors(t *testing.T) {
+	if _, err := PackByClass(nil, 4); err == nil {
+		t.Error("empty jobs accepted")
+	}
+	if _, err := PackByClass([]Job{{0, workload.Short}}, 0); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+}
+
+func TestEvaluateWithFakeEngine(t *testing.T) {
+	jobs := jobsFromTrace([]workload.Class{workload.Short, workload.Short, workload.Medium})
+	batches, _ := PackByClass(jobs, 2)
+	fake := func(req pipeline.Request) pipeline.Report {
+		return pipeline.Report{Batch: req.Batch, StepSec: 1, PrefillSec: 10}
+	}
+	s, err := Evaluate(model.OPT30B, batches, fake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Batches != 2 || s.Jobs != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	// Short batch: 10 + 99 steps; Medium batch: 10 + 349 steps.
+	want := (10.0 + 99) + (10 + 349)
+	if s.MakespanSec != want {
+		t.Errorf("makespan %v, want %v", s.MakespanSec, want)
+	}
+	if s.OutputTokens != 2*100+350 {
+		t.Errorf("tokens %d", s.OutputTokens)
+	}
+	if s.Throughput() <= 0 {
+		t.Error("non-positive throughput")
+	}
+}
+
+func TestEvaluateShrunkBatchNeedsMorePasses(t *testing.T) {
+	jobs := jobsFromTrace([]workload.Class{workload.Short, workload.Short, workload.Short, workload.Short})
+	batches, _ := PackByClass(jobs, 4)
+	// Engine can only fit half the batch: twice the passes.
+	half := func(req pipeline.Request) pipeline.Report {
+		return pipeline.Report{Batch: req.Batch / 2, StepSec: 1, PrefillSec: 0}
+	}
+	s, err := Evaluate(model.OPT30B, batches, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := func(req pipeline.Request) pipeline.Report {
+		return pipeline.Report{Batch: req.Batch, StepSec: 1, PrefillSec: 0}
+	}
+	s2, _ := Evaluate(model.OPT30B, batches, full)
+	if s.MakespanSec != 2*s2.MakespanSec {
+		t.Errorf("shrunk batch makespan %v, want 2× %v", s.MakespanSec, s2.MakespanSec)
+	}
+}
+
+func TestEvaluateOOM(t *testing.T) {
+	jobs := jobsFromTrace([]workload.Class{workload.Long})
+	batches, _ := PackByClass(jobs, 1)
+	oom := func(pipeline.Request) pipeline.Report { return pipeline.Report{OOM: true} }
+	s, err := Evaluate(model.OPT30B, batches, oom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OOMBatches != 1 || s.MakespanSec != 0 {
+		t.Errorf("OOM summary %+v", s)
+	}
+	if _, err := Evaluate(model.OPT30B, nil, oom); err == nil {
+		t.Error("empty plan accepted")
+	}
+	if _, err := Evaluate(model.OPT30B, batches, nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+// Integration: HILOS completes the same backlog faster than the FlexGen
+// baseline on the real engines.
+func TestHILOSFinishesBacklogFaster(t *testing.T) {
+	tb := device.DefaultTestbed()
+	gen, err := workload.NewGenerator(3, workload.AzureLikeMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := jobsFromTrace(gen.Trace(64))
+	batches, err := PackByClass(jobs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.OPT66B
+	flex := func(req pipeline.Request) pipeline.Report { return baseline.FlexSSD(tb).Run(tb, req) }
+	hil := func(req pipeline.Request) pipeline.Report { return core.Run(tb, req, core.DefaultOptions(16)) }
+	sFlex, err := Evaluate(m, batches, flex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHil, err := Evaluate(m, batches, hil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFlex.OOMBatches != 0 || sHil.OOMBatches != 0 {
+		t.Fatalf("unexpected OOM batches: %d / %d", sFlex.OOMBatches, sHil.OOMBatches)
+	}
+	if sHil.MakespanSec >= sFlex.MakespanSec {
+		t.Errorf("HILOS backlog %v s not below FlexGen %v s", sHil.MakespanSec, sFlex.MakespanSec)
+	}
+	if sHil.OutputTokens != sFlex.OutputTokens {
+		t.Error("engines produced different token counts for the same plan")
+	}
+}

@@ -1,0 +1,269 @@
+// Package sim provides a deterministic resource-constrained task scheduler —
+// the discrete-event timing substrate for all HILOS experiments.
+//
+// A simulated operation is a Task with dependencies, an optional target
+// Resource and a demand expressed in that resource's units (bytes for links
+// and storage, FLOPs for compute). Resources serialize their tasks in ready
+// order, which models contention exactly in the bandwidth-saturated regime
+// that dominates offloading-based inference. Dependency edges express
+// pipelining and overlap (e.g. next-layer weight prefetch overlapping
+// current-layer compute).
+//
+// The scheduler is a global earliest-start list scheduler: at every step the
+// ready task that can start earliest runs next on its resource. Ties break on
+// creation order, making every simulation fully deterministic.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// Resource models a serially shared hardware resource: a PCIe link, an SSD
+// channel, a GPU, a CPU, an accelerator. Rate is in units/second.
+type Resource struct {
+	Name string
+	Rate float64 // demand units per second; must be > 0
+
+	free Time // next instant the resource is available
+	busy Time // accumulated busy time
+}
+
+// Busy returns the total time this resource spent executing tasks.
+func (r *Resource) Busy() Time { return r.busy }
+
+// Task is a unit of simulated work.
+type Task struct {
+	Label  string    // breakdown category, e.g. "LoadKVCache"
+	Res    *Resource // nil for pure-latency tasks (unlimited parallelism)
+	Demand float64   // units of Res consumed
+	Fixed  Time      // fixed latency added to the service time
+
+	id            int
+	deps          []*Task
+	start, finish Time
+	done          bool
+}
+
+// Start returns the scheduled start time. Valid after Engine.Run.
+func (t *Task) Start() Time { return t.start }
+
+// Finish returns the scheduled completion time. Valid after Engine.Run.
+func (t *Task) Finish() Time { return t.finish }
+
+// Duration returns the service time of the task.
+func (t *Task) Duration() Time { return t.finish - t.start }
+
+// Engine accumulates resources and tasks and schedules them.
+type Engine struct {
+	resources []*Resource
+	tasks     []*Task
+	ran       bool
+}
+
+// NewEngine returns an empty simulation.
+func NewEngine() *Engine { return &Engine{} }
+
+// Resource registers a resource with the given service rate (units/second).
+func (e *Engine) Resource(name string, rate float64) *Resource {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: resource %q rate must be positive, got %g", name, rate))
+	}
+	r := &Resource{Name: name, Rate: rate}
+	e.resources = append(e.resources, r)
+	return r
+}
+
+// Task adds a task that consumes demand units of r after all deps finish.
+// Nil deps are ignored, which simplifies conditional pipeline construction.
+func (e *Engine) Task(label string, r *Resource, demand float64, deps ...*Task) *Task {
+	if demand < 0 {
+		panic(fmt.Sprintf("sim: negative demand %g for %q", demand, label))
+	}
+	t := &Task{Label: label, Res: r, Demand: demand, id: len(e.tasks)}
+	for _, d := range deps {
+		if d != nil {
+			t.deps = append(t.deps, d)
+		}
+	}
+	e.tasks = append(e.tasks, t)
+	return t
+}
+
+// Delay adds a pure-latency task (no resource contention) of duration d.
+func (e *Engine) Delay(label string, d Time, deps ...*Task) *Task {
+	t := e.Task(label, nil, 0, deps...)
+	t.Fixed = d
+	return t
+}
+
+// Barrier adds a zero-duration task depending on all deps; use it to join
+// fan-out stages.
+func (e *Engine) Barrier(label string, deps ...*Task) *Task {
+	return e.Task(label, nil, 0, deps...)
+}
+
+// TaskRecord is one scheduled task, for timeline export and debugging.
+type TaskRecord struct {
+	Label    string
+	Resource string // "" for pure-latency tasks
+	Start    Time
+	Finish   Time
+}
+
+// Result summarizes a completed simulation.
+type Result struct {
+	Makespan Time
+	// ByLabel is the total busy time attributed to each task label,
+	// summed over all resources (pure-latency tasks included).
+	ByLabel map[string]Time
+	// ResourceBusy maps resource name to accumulated busy time.
+	ResourceBusy map[string]Time
+	// Tasks records every scheduled task in scheduling order.
+	Tasks []TaskRecord
+}
+
+// Utilization returns busy/makespan for the named resource, in [0,1].
+func (r Result) Utilization(name string) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.ResourceBusy[name] / r.Makespan
+}
+
+// LabelShare returns label busy time as a fraction of the sum over all
+// labels, matching the stacked-percentage breakdowns in the paper's figures.
+func (r Result) LabelShare(label string) float64 {
+	var total Time
+	for _, v := range r.ByLabel {
+		total += v
+	}
+	if total <= 0 {
+		return 0
+	}
+	return r.ByLabel[label] / total
+}
+
+// Run schedules every task and returns the simulation result. Run may be
+// called once per Engine; it panics on dependency cycles.
+func (e *Engine) Run() Result {
+	if e.ran {
+		panic("sim: Run called twice")
+	}
+	e.ran = true
+
+	pending := make([]*Task, len(e.tasks))
+	copy(pending, e.tasks)
+	// Stable order by id so tie-breaks are deterministic.
+	sort.Slice(pending, func(i, j int) bool { return pending[i].id < pending[j].id })
+
+	res := Result{
+		ByLabel:      make(map[string]Time),
+		ResourceBusy: make(map[string]Time),
+	}
+	remaining := len(pending)
+	for remaining > 0 {
+		best := -1
+		var bestStart Time
+		for i, t := range pending {
+			if t == nil || !depsDone(t) {
+				continue
+			}
+			s := readyTime(t)
+			if t.Res != nil && t.Res.free > s {
+				s = t.Res.free
+			}
+			if best == -1 || s < bestStart {
+				best, bestStart = i, s
+			}
+		}
+		if best == -1 {
+			panic("sim: dependency cycle or unschedulable task")
+		}
+		t := pending[best]
+		pending[best] = nil
+		remaining--
+
+		dur := t.Fixed
+		if t.Res != nil {
+			dur += t.Demand / t.Res.Rate
+		}
+		t.start = bestStart
+		t.finish = bestStart + dur
+		t.done = true
+		if t.Res != nil {
+			t.Res.free = t.finish
+			t.Res.busy += dur
+		}
+		res.ByLabel[t.Label] += dur
+		if t.finish > res.Makespan {
+			res.Makespan = t.finish
+		}
+		resName := ""
+		if t.Res != nil {
+			resName = t.Res.Name
+		}
+		res.Tasks = append(res.Tasks, TaskRecord{
+			Label: t.Label, Resource: resName, Start: t.start, Finish: t.finish,
+		})
+	}
+	for _, r := range e.resources {
+		res.ResourceBusy[r.Name] = r.busy
+	}
+	return res
+}
+
+func depsDone(t *Task) bool {
+	for _, d := range t.deps {
+		if !d.done {
+			return false
+		}
+	}
+	return true
+}
+
+func readyTime(t *Task) Time {
+	var r Time
+	for _, d := range t.deps {
+		if d.finish > r {
+			r = d.finish
+		}
+	}
+	return r
+}
+
+// CriticalPath returns the longest dependency-only path length (ignoring
+// resource contention); Run's makespan can never be shorter. Useful as a
+// test invariant.
+func (e *Engine) CriticalPath() Time {
+	memo := make(map[*Task]Time, len(e.tasks))
+	var longest func(t *Task) Time
+	longest = func(t *Task) Time {
+		if v, ok := memo[t]; ok {
+			return v
+		}
+		var in Time
+		for _, d := range t.deps {
+			if l := longest(d); l > in {
+				in = l
+			}
+		}
+		dur := t.Fixed
+		if t.Res != nil {
+			dur += t.Demand / t.Res.Rate
+		}
+		v := in + dur
+		memo[t] = v
+		return v
+	}
+	var cp Time
+	for _, t := range e.tasks {
+		if l := longest(t); l > cp {
+			cp = l
+		}
+	}
+	return cp
+}

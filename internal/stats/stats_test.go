@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", m)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if s := StdDev([]float64{2, 2, 2}); s != 0 {
+		t.Errorf("StdDev of constant = %v, want 0", s)
+	}
+	if s := StdDev([]float64{1, -1}); !almost(s, 1, 1e-12) {
+		t.Errorf("StdDev = %v, want 1", s)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, %v; want 1", r, err)
+	}
+	for i := range ys {
+		ys[i] = -ys[i]
+	}
+	r, err = Pearson(xs, ys)
+	if err != nil || !almost(r, -1, 1e-12) {
+		t.Errorf("Pearson anti = %v, %v; want -1", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err != ErrMismatch {
+		t.Errorf("mismatch error not returned: %v", err)
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero variance not detected")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single sample not rejected")
+	}
+}
+
+// Pearson is invariant to affine rescaling of either variable.
+func TestPearsonAffineInvariance(t *testing.T) {
+	f := func(a, b float64) bool {
+		scale := math.Mod(math.Abs(a), 10) + 0.5
+		shift := math.Mod(b, 100)
+		xs := []float64{1, 3, 2, 8, 5, 7}
+		ys := []float64{2, 5, 3, 9, 6, 10}
+		r1, err1 := Pearson(xs, ys)
+		zs := make([]float64, len(ys))
+		for i, y := range ys {
+			zs[i] = scale*y + shift
+		}
+		r2, err2 := Pearson(xs, zs)
+		return err1 == nil && err2 == nil && almost(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !almost(g, 2, 1e-12) {
+		t.Errorf("GeoMean = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{2, -1}); !math.IsNaN(g) {
+		t.Errorf("GeoMean with nonpositive = %v, want NaN", g)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}

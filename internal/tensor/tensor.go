@@ -1,0 +1,198 @@
+// Package tensor provides the minimal dense linear algebra used by the
+// functional attention substrate: row-major float32 matrices, GEMM/GEMV,
+// transposition, and FP16 storage quantization.
+//
+// All accumulation is done in float32 (emulating the accelerator's FP32
+// accumulators); storage quantization to FP16 is explicit via RoundFP16,
+// mirroring the paper's "native FP16 storage, FP32 intermediate" policy.
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fp16"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zero matrix with the given shape.
+func New(rows, cols int) Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) as a matrix without copying.
+func FromSlice(rows, cols int, data []float32) Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m Mat) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m Mat) Clone() Mat {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// SliceRows returns the sub-matrix of rows [lo, hi) sharing storage with m.
+func (m Mat) SliceRows(lo, hi int) Mat {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: row slice [%d,%d) out of range %d", lo, hi, m.Rows))
+	}
+	return Mat{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m Mat) T() Mat {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MatMul returns a·b. Panics on shape mismatch.
+func MatMul(a, b Mat) Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns m·x as a vector of length m.Rows.
+func MatVec(m Mat, x []float32) []float32 {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: matvec shape %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b accumulated in float32.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length %d != %d", len(a), len(b)))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Scale multiplies every element of m by f in place and returns m.
+func (m Mat) Scale(f float32) Mat {
+	for i := range m.Data {
+		m.Data[i] *= f
+	}
+	return m
+}
+
+// AddTo accumulates src into dst element-wise. Panics on shape mismatch.
+func AddTo(dst, src Mat) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: add shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] += src.Data[i]
+	}
+}
+
+// RoundFP16 quantizes every element of m through binary16 in place,
+// emulating FP16 tensor storage, and returns m.
+func (m Mat) RoundFP16() Mat {
+	fp16.RoundSlice(m.Data)
+	return m
+}
+
+// Rand fills m with values drawn from N(0, sigma) using rng and returns m.
+func (m Mat) Rand(rng *rand.Rand, sigma float64) Mat {
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * sigma)
+	}
+	return m
+}
+
+// RandMat returns a rows×cols matrix of N(0, sigma) values.
+func RandMat(rng *rand.Rand, rows, cols int, sigma float64) Mat {
+	return New(rows, cols).Rand(rng, sigma)
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between a
+// and b. Panics on shape mismatch.
+func MaxAbsDiff(a, b Mat) float32 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: diff shape mismatch")
+	}
+	var m float32
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// VStack concatenates matrices with equal column counts by rows.
+func VStack(ms ...Mat) Mat {
+	if len(ms) == 0 {
+		return Mat{}
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic("tensor: vstack column mismatch")
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	if r := m.Row(1); r[2] != 7 {
+		t.Errorf("Row(1)[2] = %v, want 7", r[2])
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float32{5, 6, 7, 8})
+	got := MatMul(a, b)
+	want := []float32{19, 22, 43, 50}
+	for i, w := range want {
+		if got.Data[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, got.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandMat(rng, 5, 5, 1)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	if d := MaxAbsDiff(MatMul(a, id), a); d != 0 {
+		t.Errorf("A·I differs from A by %v", d)
+	}
+	if d := MaxAbsDiff(MatMul(id, a), a); d != 0 {
+		t.Errorf("I·A differs from A by %v", d)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandMat(rng, 7, 3, 1)
+	if d := MaxAbsDiff(m.T().T(), m); d != 0 {
+		t.Errorf("(Mᵀ)ᵀ differs from M by %v", d)
+	}
+}
+
+// (A·B)ᵀ == Bᵀ·Aᵀ, a structural property the online-transpose unit relies on.
+func TestTransposeOfProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandMat(rng, 4, 6, 1)
+	b := RandMat(rng, 6, 5, 1)
+	lhs := MatMul(a, b).T()
+	rhs := MatMul(b.T(), a.T())
+	if d := MaxAbsDiff(lhs, rhs); d > 1e-5 {
+		t.Errorf("(AB)ᵀ vs BᵀAᵀ differ by %v", d)
+	}
+}
+
+func TestMatVecMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := RandMat(rng, 6, 4, 1)
+	x := RandMat(rng, 4, 1, 1)
+	got := MatVec(m, x.Data)
+	want := MatMul(m, x)
+	for i := range got {
+		if got[i] != want.Data[i] {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, got[i], want.Data[i])
+		}
+	}
+}
+
+func TestSliceRowsAliases(t *testing.T) {
+	m := New(4, 2)
+	s := m.SliceRows(1, 3)
+	s.Set(0, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Error("SliceRows does not alias parent storage")
+	}
+	if s.Rows != 2 || s.Cols != 2 {
+		t.Errorf("SliceRows shape = %dx%d, want 2x2", s.Rows, s.Cols)
+	}
+}
+
+func TestVStack(t *testing.T) {
+	a := FromSlice(1, 2, []float32{1, 2})
+	b := FromSlice(2, 2, []float32{3, 4, 5, 6})
+	got := VStack(a, b)
+	if got.Rows != 3 || got.Cols != 2 {
+		t.Fatalf("VStack shape %dx%d", got.Rows, got.Cols)
+	}
+	want := []float32{1, 2, 3, 4, 5, 6}
+	for i, w := range want {
+		if got.Data[i] != w {
+			t.Fatalf("VStack[%d] = %v, want %v", i, got.Data[i], w)
+		}
+	}
+}
+
+func TestRoundFP16(t *testing.T) {
+	m := FromSlice(1, 2, []float32{1.0000001, 3.14159265})
+	m.RoundFP16()
+	// 1.0000001 is within half an FP16 ULP of 1.
+	if m.Data[0] != 1 {
+		t.Errorf("RoundFP16 kept %v", m.Data[0])
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot did not panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+// Distributivity: A·(B+C) == A·B + A·C (exact would need exact arithmetic;
+// allow small FP32 tolerance).
+func TestMatMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandMat(rng, 3, 4, 1)
+		b := RandMat(rng, 4, 2, 1)
+		c := RandMat(rng, 4, 2, 1)
+		sum := b.Clone()
+		AddTo(sum, c)
+		lhs := MatMul(a, sum)
+		rhs := MatMul(a, b)
+		AddTo(rhs, MatMul(a, c))
+		return MaxAbsDiff(lhs, rhs) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := FromSlice(1, 3, []float32{1, 2, 3})
+	m.Scale(2)
+	if m.Data[0] != 2 || m.Data[2] != 6 {
+		t.Errorf("Scale result %v", m.Data)
+	}
+}

@@ -1,0 +1,126 @@
+// Package trace exports simulated decoding-step schedules as Chrome
+// trace-event JSON (load the file at chrome://tracing or in Perfetto to see
+// the per-resource timeline of a step — which transfers overlap, where the
+// pipeline stalls, which resource binds).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// event is one complete ("X" phase) Chrome trace event. Times are in
+// microseconds per the trace-event format.
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// chromeTrace is the top-level trace file object.
+type chromeTrace struct {
+	TraceEvents    []event           `json:"traceEvents"`
+	DisplayUnit    string            `json:"displayTimeUnit"`
+	Metadata       map[string]string `json:"metadata,omitempty"`
+	ControllerPids []int             `json:"-"`
+}
+
+// WriteChrome serializes task records as Chrome trace JSON. Each resource
+// becomes a thread lane; pure-latency tasks land on a "host" lane.
+func WriteChrome(w io.Writer, records []sim.TaskRecord, label string) error {
+	if len(records) == 0 {
+		return fmt.Errorf("trace: no task records")
+	}
+	// Stable lane assignment: resources sorted by name.
+	laneSet := map[string]bool{}
+	for _, r := range records {
+		laneSet[laneName(r)] = true
+	}
+	var lanes []string
+	for l := range laneSet {
+		lanes = append(lanes, l)
+	}
+	sort.Strings(lanes)
+	laneID := make(map[string]int, len(lanes))
+	for i, l := range lanes {
+		laneID[l] = i + 1
+	}
+
+	t := chromeTrace{
+		DisplayUnit: "ms",
+		Metadata:    map[string]string{"description": label},
+	}
+	for _, r := range records {
+		t.TraceEvents = append(t.TraceEvents, event{
+			Name: r.Label,
+			Ph:   "X",
+			Ts:   r.Start * 1e6,
+			Dur:  (r.Finish - r.Start) * 1e6,
+			Pid:  1,
+			Tid:  laneID[laneName(r)],
+		})
+	}
+	// Thread-name metadata events so lanes display their resource names.
+	type nameArgs struct {
+		Name string `json:"name"`
+	}
+	var metaEvents []map[string]any
+	for _, l := range lanes {
+		metaEvents = append(metaEvents, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": laneID[l],
+			"args": nameArgs{Name: l},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	// Encode as a single object with both event lists merged.
+	all := make([]any, 0, len(t.TraceEvents)+len(metaEvents))
+	for _, m := range metaEvents {
+		all = append(all, m)
+	}
+	for _, e := range t.TraceEvents {
+		all = append(all, e)
+	}
+	return enc.Encode(map[string]any{
+		"traceEvents":     all,
+		"displayTimeUnit": t.DisplayUnit,
+		"metadata":        t.Metadata,
+	})
+}
+
+func laneName(r sim.TaskRecord) string {
+	if r.Resource == "" {
+		return "host"
+	}
+	return r.Resource
+}
+
+// Summary aggregates records per lane: busy time and task count. Useful for
+// quick textual inspection without a trace viewer.
+func Summary(records []sim.TaskRecord) map[string]LaneStats {
+	out := map[string]LaneStats{}
+	for _, r := range records {
+		s := out[laneName(r)]
+		s.Tasks++
+		s.Busy += r.Finish - r.Start
+		if r.Finish > s.LastFinish {
+			s.LastFinish = r.Finish
+		}
+		out[laneName(r)] = s
+	}
+	return out
+}
+
+// LaneStats summarizes one resource lane.
+type LaneStats struct {
+	Tasks      int
+	Busy       float64
+	LastFinish float64
+}

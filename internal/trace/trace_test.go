@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleRecords() []sim.TaskRecord {
+	return []sim.TaskRecord{
+		{Label: "LoadKV", Resource: "flash", Start: 0, Finish: 0.5},
+		{Label: "Compute", Resource: "GPU", Start: 0.5, Finish: 0.7},
+		{Label: "join", Resource: "", Start: 0.7, Finish: 0.7},
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleRecords(), "test step"); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 3 lanes of metadata + 3 task events.
+	if len(parsed.TraceEvents) != 6 {
+		t.Errorf("got %d events, want 6", len(parsed.TraceEvents))
+	}
+	if parsed.Metadata["description"] != "test step" {
+		t.Errorf("metadata description %q", parsed.Metadata["description"])
+	}
+	// Durations must be microseconds.
+	for _, e := range parsed.TraceEvents {
+		if e["ph"] == "X" && e["name"] == "LoadKV" {
+			if dur := e["dur"].(float64); math.Abs(dur-0.5e6) > 1 {
+				t.Errorf("LoadKV dur = %v µs, want 0.5e6", dur)
+			}
+		}
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil, "x"); err == nil {
+		t.Error("empty record list accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary(sampleRecords())
+	if s["flash"].Tasks != 1 || s["flash"].Busy != 0.5 {
+		t.Errorf("flash lane %+v", s["flash"])
+	}
+	if s["host"].Tasks != 1 {
+		t.Errorf("pure-latency task not mapped to host lane: %+v", s)
+	}
+	if s["GPU"].LastFinish != 0.7 {
+		t.Errorf("GPU last finish %v", s["GPU"].LastFinish)
+	}
+}
+
+// End-to-end: a real sim run exports a well-formed trace.
+func TestTraceFromSimRun(t *testing.T) {
+	e := sim.NewEngine()
+	r := e.Resource("link", 10)
+	a := e.Task("xfer", r, 5)
+	e.Task("more", r, 5, a)
+	res := e.Run()
+	if len(res.Tasks) != 2 {
+		t.Fatalf("sim recorded %d tasks, want 2", len(res.Tasks))
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, res.Tasks, "sim"); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("invalid JSON from sim records")
+	}
+	// Records must be time-consistent.
+	for _, rec := range res.Tasks {
+		if rec.Finish < rec.Start {
+			t.Errorf("record %+v finishes before it starts", rec)
+		}
+	}
+}
