@@ -16,7 +16,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	hilos "repro"
 )
 
 func main() {
@@ -25,27 +25,35 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		fmt.Println(strings.Join(hilos.ExperimentIDs(), "\n"))
 		return
 	}
 
-	r := experiments.New()
+	sim, err := hilos.New()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *only != "" {
-		g, err := experiments.ByID(*only)
+		tab, err := sim.ExperimentByID(*only)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		fmt.Print(g.Run(r))
+		fmt.Print(tab)
 		return
 	}
 
 	start := time.Now()
-	for _, g := range experiments.Registry() {
+	for _, id := range hilos.ExperimentIDs() {
 		t0 := time.Now()
-		tab := g.Run(r)
+		tab, err := sim.ExperimentByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		fmt.Print(tab)
-		fmt.Printf("(%s in %.1fs)\n\n", g.ID, time.Since(t0).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(t0).Seconds())
 	}
 	fmt.Printf("all experiments completed in %.1fs\n", time.Since(start).Seconds())
 }

@@ -7,6 +7,7 @@
 //	hilos-sim -model OPT-66B -system hilos -devices 16 -batch 16 -ctx 65536
 //	hilos-sim -model OPT-175B -system flex-ssd -ctx 131072
 //	hilos-sim -systems            # list system identifiers
+//	hilos-sim -describe           # list systems with descriptions
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	spill := flag.Int("spill", 16, "writeback spill interval c (HILOS only)")
 	traceOut := flag.String("trace", "", "write the decode step schedule as Chrome trace JSON to this file")
 	listSystems := flag.Bool("systems", false, "list system identifiers and exit")
+	describe := flag.Bool("describe", false, "list system identifiers with descriptions and exit")
 	flag.Parse()
 
 	if *listSystems {
@@ -38,8 +40,18 @@ func main() {
 		}
 		return
 	}
+	if *describe {
+		for _, s := range hilos.Systems() {
+			fmt.Printf("%-12s %s\n", s, hilos.DescribeSystem(s))
+		}
+		return
+	}
 
-	sim, err := hilos.NewSimulator()
+	sim, err := hilos.New(
+		hilos.WithDevices(*devices),
+		hilos.WithAlpha(*alpha),
+		hilos.WithSpillInterval(*spill),
+	)
 	if err != nil {
 		fatal(err)
 	}
@@ -49,20 +61,14 @@ func main() {
 	}
 	req := hilos.Request{Model: m, Batch: *batch, Context: *ctx, OutputLen: *outLen}
 
-	var rep hilos.Report
-	if hilos.System(*system) == hilos.SystemHILOS && (*alpha >= 0 || *spill != 16) {
-		rep = sim.RunHILOS(req, hilos.HILOSOptions{
-			Devices: *devices, XCache: true, DelayedWriteback: true,
-			Alpha: *alpha, SpillInterval: *spill,
-		})
-	} else {
-		rep, err = sim.Run(hilos.System(*system), req, *devices)
-		if err != nil {
-			fatal(err)
-		}
+	eng, err := sim.Engine(hilos.System(*system))
+	if err != nil {
+		fatal(err)
 	}
+	rep := eng.Run(req)
 
 	fmt.Printf("system:   %s\n", rep.System)
+	fmt.Printf("engine:   %s\n", eng.Describe())
 	fmt.Printf("model:    %s   context: %d   requested batch: %d\n", rep.Model, rep.Context, *batch)
 	if rep.OOM {
 		fmt.Printf("result:   OOM (%s)\n", rep.Reason)
@@ -91,9 +97,9 @@ func main() {
 	if rep.Devices > 0 && rep.System != "FLEX(SSD)" && rep.System != "FLEX(DRAM)" {
 		smart = rep.Devices
 	}
-	if cpu, dram, gpu, ssd, err := sim.EnergyPerToken(rep, smart); err == nil {
+	if b, err := sim.Energy(rep, smart); err == nil {
 		fmt.Printf("energy/token:     CPU %.1f J  DRAM %.1f J  GPU %.1f J  SSD %.1f J  (total %.1f J)\n",
-			cpu, dram, gpu, ssd, cpu+dram+gpu+ssd)
+			b.CPU, b.DRAM, b.GPU, b.SSD, b.Total())
 	}
 
 	if *traceOut != "" {

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"os"
 
+	hilos "repro"
 	"repro/internal/accel"
 	"repro/internal/attention"
 	"repro/internal/longbench"
@@ -88,7 +89,7 @@ func main() {
 
 	if *runTasks {
 		fmt.Println("retrieval accuracy (accelerator must equal exact):")
-		for _, task := range longbench.Suite() {
+		for _, task := range hilos.AccuracySuite() {
 			exact, err := task.Score(*seed, longbench.Exact)
 			if err != nil {
 				fatal(err)

@@ -25,10 +25,52 @@
 //     on which HILOS and all baselines (FlexGen SSD/DRAM/16-SSD,
 //     DeepSpeed+UVM, multi-node vLLM) are evaluated.
 //
-// The package exposes a small façade over the internal packages: construct
-// a Simulator, describe a Request, and run any System on it. The
-// experiments behind every figure and table of the paper are available via
-// Experiments and ExperimentByID, and the accuracy harness via
-// AccuracySuite. See the examples directory for runnable walkthroughs and
+// # The Engine abstraction
+//
+// Every simulated system implements the Engine interface — Name, Describe,
+// and Run — and registers a factory in a process-wide registry
+// (internal/engine) from its own package's init. The facade never switches
+// on system identifiers: adding a backend (an InstInfer-style in-storage
+// attention engine, a future CSD generation) is one self-registering file.
+//
+// # Quickstart
+//
+// Construct a Simulator with functional options, then resolve any System
+// through it:
+//
+//	sim, err := hilos.New(
+//		hilos.WithDevices(16),        // SmartSSD count for NSP engines
+//		hilos.WithAlpha(0.5),         // or hilos.AlphaAuto (default)
+//		hilos.WithSpillInterval(16),  // delayed-writeback interval c
+//	)
+//	if err != nil { ... }
+//	m, _ := hilos.ModelByName("OPT-66B")
+//	req := hilos.Request{Model: m, Batch: 16, Context: 64 * 1024, OutputLen: 64}
+//	rep, err := sim.Simulate(hilos.SystemHILOS, req)
+//	// or: eng, _ := sim.Engine(hilos.SystemHILOS); rep = eng.Run(req)
+//
+// Energy integrates the Fig. 17(a) model and returns an EnergyBreakdown;
+// the experiments behind every figure and table of the paper are available
+// via Experiments and ExperimentByID, and the accuracy harness via
+// AccuracySuite.
+//
+// # Offline backlogs and multi-pipeline deployments
+//
+// Backlog models the paper's deployment: a request trace packed into
+// same-shape batches and drained through an engine. WithPipelines(n)
+// schedules the plan over n independent pipelines (e.g. several SmartSSD
+// hosts) sharing one queue — batch simulations fan out over worker
+// goroutines, scheduling uses the simulated clock, and the summary reports
+// per-pipeline and per-class attribution plus failed-work accounting:
+//
+//	deploy, _ := hilos.New(hilos.WithDevices(16), hilos.WithPipelines(4))
+//	trace, _ := hilos.NewWorkloadTrace(7, 200)
+//	sum, err := deploy.Backlog(m, trace, 16, hilos.SystemHILOS)
+//
+// The pre-registry entry points (NewSimulator, Simulator.Run,
+// Simulator.RunBacklog, Simulator.EnergyPerToken) remain as deprecated
+// shims over the registry and behave identically.
+//
+// See the examples directory for runnable walkthroughs and
 // DESIGN.md/EXPERIMENTS.md for the reproduction methodology.
 package hilos

@@ -1,7 +1,8 @@
 // Design-space exploration: sweep the HILOS configuration knobs — device
 // count, X-cache ratio α and spill interval c — for a workload, and check
 // that the §4.2 cache scheduler's closed-form α matches the empirical
-// optimum of the sweep.
+// optimum of the sweep. Each sweep point is one functional-options
+// configuration of the simulator.
 package main
 
 import (
@@ -12,10 +13,6 @@ import (
 )
 
 func main() {
-	sim, err := hilos.NewSimulator()
-	if err != nil {
-		log.Fatal(err)
-	}
 	m, err := hilos.ModelByName("OPT-30B")
 	if err != nil {
 		log.Fatal(err)
@@ -25,6 +22,7 @@ func main() {
 	fmt.Printf("design space for %s, bs=%d, s=%d (tok/s)\n\n", m.Name, req.Batch, req.Context)
 	alphas := []float64{0, 0.125, 0.25, 0.5, 0.75}
 	spills := []int{4, 16, 64}
+	scheduler := hilos.Must(hilos.New())
 
 	for _, devices := range []int{4, 8, 16} {
 		fmt.Printf("--- %d SmartSSDs ---\n", devices)
@@ -38,10 +36,18 @@ func main() {
 		for _, a := range alphas {
 			fmt.Printf("%7.1f%%", 100*a)
 			for _, c := range spills {
-				rep := sim.RunHILOS(req, hilos.HILOSOptions{
-					Devices: devices, XCache: a > 0, DelayedWriteback: true,
-					Alpha: a, SpillInterval: c,
-				})
+				sim, err := hilos.New(
+					hilos.WithDevices(devices),
+					hilos.WithAlpha(a),
+					hilos.WithSpillInterval(c),
+				)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rep, err := sim.Simulate(hilos.SystemHILOS, req)
+				if err != nil {
+					log.Fatal(err)
+				}
 				t := rep.DecodeTokPerSec()
 				fmt.Printf("%10.3f", t)
 				if t > bestT {
@@ -50,7 +56,7 @@ func main() {
 			}
 			fmt.Println()
 		}
-		auto, err := sim.ChooseAlpha(m, req.Batch, req.Context, devices)
+		auto, err := scheduler.ChooseAlpha(m, req.Batch, req.Context, devices)
 		if err != nil {
 			log.Fatal(err)
 		}

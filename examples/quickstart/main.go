@@ -1,6 +1,10 @@
 // Quickstart: simulate offline decoding of OPT-66B at a 64K context on the
 // paper's testbed, comparing the FlexGen SSD baseline against HILOS with 16
 // SmartSSDs, and print where the time goes.
+//
+// The API is a Simulator built with functional options plus a system
+// registry: hilos.New configures the hardware point once, and any System
+// identifier resolves to an Engine bound to it.
 package main
 
 import (
@@ -11,7 +15,7 @@ import (
 )
 
 func main() {
-	sim, err := hilos.NewSimulator()
+	sim, err := hilos.New(hilos.WithDevices(16))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -22,14 +26,19 @@ func main() {
 	}
 	req := hilos.Request{Model: m, Batch: 16, Context: 64 * 1024, OutputLen: 64}
 
-	baselineRep, err := sim.Run(hilos.SystemFlexSSD, req, 0)
+	baselineRep, err := sim.Simulate(hilos.SystemFlexSSD, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hilosRep, err := sim.Run(hilos.SystemHILOS, req, 16)
+
+	// Engines can also be resolved once and reused; Describe explains the
+	// configuration behind the identifier.
+	eng, err := sim.Engine(hilos.SystemHILOS)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("engine %q: %s\n\n", eng.Name(), eng.Describe())
+	hilosRep := eng.Run(req)
 
 	fmt.Printf("workload: %s, batch %d, context %d, generate %d tokens\n\n",
 		m.Name, req.Batch, req.Context, req.OutputLen)

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	sim, err := hilos.NewSimulator()
+	sim, err := hilos.New(hilos.WithDevices(8))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 	req := hilos.Request{Model: m, Batch: 16, Context: 32 * 1024, OutputLen: 64}
-	rep, err := sim.Run(hilos.SystemHILOS, req, 8)
+	rep, err := sim.Simulate(hilos.SystemHILOS, req)
 	if err != nil {
 		log.Fatal(err)
 	}

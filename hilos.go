@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/longbench"
 	"repro/internal/model"
@@ -27,12 +28,23 @@ type (
 	Model = model.Config
 	// Testbed is the hardware configuration (Table 1).
 	Testbed = device.Testbed
+	// System identifies a simulated inference system.
+	System = engine.System
+	// Engine is one inference system bound to a hardware configuration:
+	// Name, Describe, and Run. Engines resolve through the system registry,
+	// so a new backend is one self-registering file in its own package.
+	Engine = engine.Engine
 	// HILOSOptions selects device count and the §4.2/§4.3 optimizations.
 	HILOSOptions = core.Options
+	// EnergyBreakdown is the per-token CPU/DRAM/GPU/SSD energy split of
+	// Fig. 17(a), in joules.
+	EnergyBreakdown = energy.Breakdown
 	// ExperimentTable is one regenerated paper table/figure.
 	ExperimentTable = experiments.Table
 	// AccuracyTask is one synthetic long-context retrieval dataset.
 	AccuracyTask = longbench.Task
+	// BacklogSummary is the outcome of draining an offline request backlog.
+	BacklogSummary = serving.Summary
 )
 
 // Models returns the Table 2 model zoo.
@@ -45,81 +57,169 @@ func ModelByName(name string) (Model, error) { return model.ByName(name) }
 // all calibration constants documented at their definitions.
 func DefaultTestbed() Testbed { return device.DefaultTestbed() }
 
-// System identifies a simulated inference system.
-type System string
-
-// The systems evaluated in Figure 10 and Figure 17(b).
+// The systems evaluated in Figure 10 and Figure 17(b), re-exported from the
+// packages that register them.
 const (
-	SystemFlexSSD    System = "flex-ssd"   // FlexGen, KV on 4 PCIe 4.0 SSDs
-	SystemFlexDRAM   System = "flex-dram"  // FlexGen, KV in host DRAM
-	SystemFlex16SSD  System = "flex-16ssd" // FlexGen on 16 SmartSSDs, FPGAs off
-	SystemDSUVM      System = "ds-uvm"     // DeepSpeed ZeRO-Inference + UVM
-	SystemVLLM       System = "vllm"       // 2-node 8×A6000 vLLM
-	SystemHILOS      System = "hilos"      // full HILOS (X-cache + writeback)
-	SystemHILOSANS   System = "hilos-ans"  // ablation: attention near storage only
-	SystemHILOSWB    System = "hilos-wb"   // ablation: ANS + delayed writeback
-	SystemHILOSXOnly System = "hilos-x"    // ablation: ANS + X-cache
+	SystemFlexSSD    = baseline.SysFlexSSD   // FlexGen, KV on 4 PCIe 4.0 SSDs
+	SystemFlexDRAM   = baseline.SysFlexDRAM  // FlexGen, KV in host DRAM
+	SystemFlex16SSD  = baseline.SysFlex16SSD // FlexGen on 16 SmartSSDs, FPGAs off
+	SystemDSUVM      = baseline.SysDSUVM     // DeepSpeed ZeRO-Inference + UVM
+	SystemVLLM       = baseline.SysVLLM      // 2-node 8×A6000 vLLM
+	SystemHILOS      = core.SysHILOS         // full HILOS (X-cache + writeback)
+	SystemHILOSANS   = core.SysHILOSANS      // ablation: attention near storage only
+	SystemHILOSWB    = core.SysHILOSWB       // ablation: ANS + delayed writeback
+	SystemHILOSXOnly = core.SysHILOSX        // ablation: ANS + X-cache
 )
 
-// Systems returns every selectable system identifier.
-func Systems() []System {
-	return []System{
-		SystemFlexSSD, SystemFlexDRAM, SystemFlex16SSD, SystemDSUVM,
-		SystemVLLM, SystemHILOS, SystemHILOSANS, SystemHILOSWB, SystemHILOSXOnly,
+// AlphaAuto requests the §4.2 cache scheduler's closed-form X-cache ratio.
+const AlphaAuto = engine.AlphaAuto
+
+// Systems returns every registered system identifier, in the paper's
+// Fig. 10 presentation order.
+func Systems() []System { return engine.Systems() }
+
+// DescribeSystem returns the one-line summary a system registered with, or
+// "" for unknown systems.
+func DescribeSystem(sys System) string {
+	spec, ok := engine.Lookup(sys)
+	if !ok {
+		return ""
 	}
+	return spec.Describe
 }
 
 // Simulator evaluates inference systems on a testbed. The zero value is not
-// usable; construct with NewSimulator or NewSimulatorWithTestbed.
+// usable; construct with New.
 type Simulator struct {
-	tb device.Testbed
+	tb        device.Testbed
+	devices   int
+	alpha     float64
+	spill     int
+	pipelines int
 }
 
-// NewSimulator returns a simulator on the default testbed.
-func NewSimulator() (*Simulator, error) {
-	return NewSimulatorWithTestbed(device.DefaultTestbed())
-}
+// Option configures a Simulator.
+type Option func(*Simulator) error
 
-// NewSimulatorWithTestbed validates and adopts a custom testbed.
-func NewSimulatorWithTestbed(tb Testbed) (*Simulator, error) {
-	if err := tb.Validate(); err != nil {
-		return nil, err
+// WithTestbed replaces the default Table 1 testbed.
+func WithTestbed(tb Testbed) Option {
+	return func(s *Simulator) error {
+		if err := tb.Validate(); err != nil {
+			return err
+		}
+		s.tb = tb
+		return nil
 	}
-	return &Simulator{tb: tb}, nil
+}
+
+// WithDevices sets the SmartSSD count for NSP engines (default 8; the paper
+// evaluates 4, 8 and 16). Baselines with fixed storage topologies ignore it.
+func WithDevices(n int) Option {
+	return func(s *Simulator) error {
+		if n < 1 {
+			return errorf("device count must be ≥ 1, got %d", n)
+		}
+		s.devices = n
+		return nil
+	}
+}
+
+// WithAlpha fixes the X-cache ratio α ∈ [0,1]; pass AlphaAuto (the default)
+// to let the §4.2 cache scheduler choose per workload point.
+func WithAlpha(a float64) Option {
+	return func(s *Simulator) error {
+		if a > 1 {
+			return errorf("α must be in [0,1] or AlphaAuto, got %g", a)
+		}
+		if a < 0 {
+			a = AlphaAuto
+		}
+		s.alpha = a
+		return nil
+	}
+}
+
+// WithSpillInterval sets the delayed-writeback spill interval c (default 16).
+func WithSpillInterval(c int) Option {
+	return func(s *Simulator) error {
+		if c < 1 {
+			return errorf("spill interval must be ≥ 1, got %d", c)
+		}
+		s.spill = c
+		return nil
+	}
+}
+
+// WithPipelines sets how many independent inference pipelines Backlog
+// schedules over (default 1). Each pipeline models one deployed host
+// draining the shared backlog queue.
+func WithPipelines(n int) Option {
+	return func(s *Simulator) error {
+		if n < 1 {
+			return errorf("pipelines must be ≥ 1, got %d", n)
+		}
+		s.pipelines = n
+		return nil
+	}
+}
+
+// New constructs a simulator on the paper defaults (Table 1 testbed, 8
+// SmartSSDs, automatic α, spill interval 16, one pipeline), then applies the
+// options in order.
+func New(opts ...Option) (*Simulator, error) {
+	s := &Simulator{
+		tb:        device.DefaultTestbed(),
+		devices:   8,
+		alpha:     AlphaAuto,
+		spill:     16,
+		pipelines: 1,
+	}
+	for _, o := range opts {
+		if err := o(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Must is a New wrapper that panics on error, for initialization chains:
+// hilos.Must(hilos.New(hilos.WithDevices(16))).
+func Must(s *Simulator, err error) *Simulator {
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Testbed returns the simulator's hardware configuration.
 func (s *Simulator) Testbed() Testbed { return s.tb }
 
-// Run simulates one system on a request. devices is the SmartSSD count for
-// HILOS variants (ignored by the baselines; pass 0 for the default 8).
-func (s *Simulator) Run(sys System, req Request, devices int) (Report, error) {
-	switch sys {
-	case SystemFlexSSD:
-		return baseline.FlexSSD(s.tb).Run(s.tb, req), nil
-	case SystemFlexDRAM:
-		return baseline.FlexDRAM(s.tb).Run(s.tb, req), nil
-	case SystemFlex16SSD:
-		return baseline.Flex16SSD(s.tb).Run(s.tb, req), nil
-	case SystemDSUVM:
-		return baseline.DeepSpeedUVM(s.tb).Run(s.tb, req), nil
-	case SystemVLLM:
-		return baseline.DefaultVLLM().Run(s.tb, req), nil
-	case SystemHILOS:
-		return core.Run(s.tb, req, core.DefaultOptions(devices)), nil
-	case SystemHILOSANS:
-		return core.Run(s.tb, req, core.Options{Devices: devices}), nil
-	case SystemHILOSWB:
-		return core.Run(s.tb, req, core.Options{Devices: devices, DelayedWriteback: true}), nil
-	case SystemHILOSXOnly:
-		return core.Run(s.tb, req, core.Options{Devices: devices, XCache: true, Alpha: -1}), nil
-	default:
-		return Report{}, fmt.Errorf("hilos: unknown system %q", sys)
+func (s *Simulator) engineConfig(devices int) engine.Config {
+	if devices <= 0 {
+		devices = s.devices
 	}
+	return engine.Config{Testbed: s.tb, Devices: devices, Alpha: s.alpha, SpillInterval: s.spill}
 }
 
-// RunHILOS simulates HILOS with explicit options (ablations, fixed α,
-// custom spill intervals).
+// Engine resolves a system through the registry, bound to this simulator's
+// testbed and options.
+func (s *Simulator) Engine(sys System) (Engine, error) {
+	return engine.New(sys, s.engineConfig(0))
+}
+
+// Simulate runs one system on a request. Infeasible configurations are
+// reported via Report.OOM; the error covers unknown systems and invalid
+// configurations only.
+func (s *Simulator) Simulate(sys System, req Request) (Report, error) {
+	eng, err := s.Engine(sys)
+	if err != nil {
+		return Report{}, err
+	}
+	return eng.Run(req), nil
+}
+
+// RunHILOS simulates HILOS with explicit low-level options (ablations,
+// fixed α, custom spill intervals) — the escape hatch below the registry.
 func (s *Simulator) RunHILOS(req Request, opt HILOSOptions) Report {
 	return core.Run(s.tb, req, opt)
 }
@@ -129,19 +229,15 @@ func (s *Simulator) ChooseAlpha(m Model, batch, context, devices int) (float64, 
 	return core.ChooseAlpha(s.tb, m, batch, context, devices)
 }
 
-// EnergyPerToken integrates the Fig. 17(a) energy model over a report.
+// Energy integrates the Fig. 17(a) energy model over a report.
 // smartSSDs > 0 selects the NSP storage power model with that device count;
 // otherwise the four conventional SSDs are assumed.
-func (s *Simulator) EnergyPerToken(rep Report, smartSSDs int) (cpu, dram, gpu, ssd float64, err error) {
+func (s *Simulator) Energy(rep Report, smartSSDs int) (EnergyBreakdown, error) {
 	cfg := energy.Config{Storage: energy.PlainSSDs, Devices: 4}
 	if smartSSDs > 0 {
 		cfg = energy.Config{Storage: energy.SmartSSDs, Devices: smartSSDs, AccelPowerW: s.tb.SmartSSD.AccelPowerW}
 	}
-	b, err := energy.PerToken(s.tb, rep, cfg)
-	if err != nil {
-		return 0, 0, 0, 0, err
-	}
-	return b.CPU, b.DRAM, b.GPU, b.SSD, nil
+	return energy.PerToken(s.tb, rep, cfg)
 }
 
 // Experiments regenerates every table and figure of the paper's evaluation,
@@ -193,14 +289,21 @@ func AcceleratorTable3(headDim int) ([]accel.Utilization, error) {
 	return accel.Table3(headDim)
 }
 
-// BacklogSummary is the outcome of running an offline request backlog.
-type BacklogSummary = serving.Summary
+// Backlog packs a request trace into same-shape batches of batchSize and
+// drains them through the selected system over the simulator's configured
+// pipeline count (WithPipelines) — the offline-inference deployment model
+// of the paper's introduction, generalized to several hosts sharing one
+// backlog queue. Makespan is the maximum pipeline load; per-pipeline and
+// per-class attribution, plus failed-work accounting, are in the summary.
+func (s *Simulator) Backlog(m Model, trace []RequestClass, batchSize int, sys System) (BacklogSummary, error) {
+	eng, err := s.Engine(sys)
+	if err != nil {
+		return BacklogSummary{}, err
+	}
+	return runBacklog(m, trace, batchSize, eng.Run, s.pipelines)
+}
 
-// RunBacklog packs a request trace into same-shape batches of batchSize and
-// executes them serially on the selected system — the offline-inference
-// deployment model of the paper's introduction. devices applies to HILOS
-// variants.
-func (s *Simulator) RunBacklog(m Model, trace []RequestClass, batchSize int, sys System, devices int) (BacklogSummary, error) {
+func runBacklog(m Model, trace []RequestClass, batchSize int, run serving.Engine, pipelines int) (BacklogSummary, error) {
 	jobs := make([]serving.Job, len(trace))
 	for i, c := range trace {
 		jobs[i] = serving.Job{ID: i, Class: c}
@@ -209,12 +312,66 @@ func (s *Simulator) RunBacklog(m Model, trace []RequestClass, batchSize int, sys
 	if err != nil {
 		return BacklogSummary{}, err
 	}
-	engine := func(req pipeline.Request) pipeline.Report {
-		rep, err := s.Run(sys, req, devices)
-		if err != nil {
-			return pipeline.Report{OOM: true, Reason: err.Error()}
-		}
-		return rep
+	return serving.Evaluate(m, batches, run, serving.WithPipelines(pipelines))
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shims over the registry. They keep the pre-registry call sites
+// compiling and behaving identically; new code should use New with options,
+// Engine/Simulate, Backlog and Energy.
+
+// NewSimulator returns a simulator on the default testbed.
+//
+// Deprecated: use New.
+func NewSimulator() (*Simulator, error) { return New() }
+
+// NewSimulatorWithTestbed validates and adopts a custom testbed.
+//
+// Deprecated: use New(WithTestbed(tb)).
+func NewSimulatorWithTestbed(tb Testbed) (*Simulator, error) {
+	return New(WithTestbed(tb))
+}
+
+// Run simulates one system on a request. devices is the SmartSSD count for
+// HILOS variants (ignored by the baselines; pass 0 for the simulator's
+// configured count).
+//
+// Deprecated: use Simulate, with WithDevices selecting the device count, or
+// resolve an Engine once and reuse it.
+func (s *Simulator) Run(sys System, req Request, devices int) (Report, error) {
+	eng, err := engine.New(sys, s.engineConfig(devices))
+	if err != nil {
+		return Report{}, err
 	}
-	return serving.Evaluate(m, batches, engine)
+	return eng.Run(req), nil
+}
+
+// EnergyPerToken integrates the Fig. 17(a) energy model over a report and
+// returns the four components separately.
+//
+// Deprecated: use Energy, which returns the EnergyBreakdown struct.
+func (s *Simulator) EnergyPerToken(rep Report, smartSSDs int) (cpu, dram, gpu, ssd float64, err error) {
+	b, err := s.Energy(rep, smartSSDs)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return b.CPU, b.DRAM, b.GPU, b.SSD, nil
+}
+
+// RunBacklog packs a request trace into same-shape batches of batchSize and
+// executes them serially on the selected system. devices applies to HILOS
+// variants.
+//
+// Deprecated: use Backlog, with WithDevices and WithPipelines on the
+// simulator selecting the deployment.
+func (s *Simulator) RunBacklog(m Model, trace []RequestClass, batchSize int, sys System, devices int) (BacklogSummary, error) {
+	eng, err := engine.New(sys, s.engineConfig(devices))
+	if err != nil {
+		return BacklogSummary{}, err
+	}
+	return runBacklog(m, trace, batchSize, eng.Run, 1)
+}
+
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("hilos: "+format, args...)
 }

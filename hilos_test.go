@@ -4,6 +4,162 @@ import (
 	"testing"
 )
 
+// All nine System identifiers resolve through the registry to an Engine
+// whose name round-trips, in the paper's Fig. 10 presentation order.
+func TestRegistryResolvesAllSystems(t *testing.T) {
+	want := []System{
+		SystemFlexSSD, SystemFlexDRAM, SystemFlex16SSD, SystemDSUVM,
+		SystemVLLM, SystemHILOS, SystemHILOSANS, SystemHILOSWB, SystemHILOSXOnly,
+	}
+	got := Systems()
+	if len(got) != len(want) {
+		t.Fatalf("Systems() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Systems()[%d] = %q, want %q (presentation order must be stable)", i, got[i], want[i])
+		}
+	}
+
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range want {
+		eng, err := s.Engine(sys)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if eng.Name() != sys {
+			t.Errorf("%s: engine reports name %q", sys, eng.Name())
+		}
+		if eng.Describe() == "" || DescribeSystem(sys) == "" {
+			t.Errorf("%s: empty description", sys)
+		}
+	}
+	if _, err := s.Engine(System("bogus")); err == nil {
+		t.Error("unknown system resolved")
+	}
+	if DescribeSystem(System("bogus")) != "" {
+		t.Error("unknown system described")
+	}
+}
+
+func TestNewOptionValidation(t *testing.T) {
+	for name, opt := range map[string]Option{
+		"devices 0":       WithDevices(0),
+		"alpha 1.5":       WithAlpha(1.5),
+		"spill 0":         WithSpillInterval(0),
+		"pipelines 0":     WithPipelines(0),
+		"invalid testbed": WithTestbed(func() Testbed { tb := DefaultTestbed(); tb.GPU.EffFLOPS = 0; return tb }()),
+	} {
+		if _, err := New(opt); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := New(WithDevices(16), WithAlpha(0.5), WithSpillInterval(32), WithPipelines(4)); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// The functional-options constructor reproduces the deprecated positional
+// API exactly: same engine, same report.
+func TestSimulateMatchesDeprecatedRun(t *testing.T) {
+	m, _ := ModelByName("OPT-66B")
+	req := Request{Model: m, Batch: 8, Context: 16384, OutputLen: 32}
+	oldSim, err := NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSim, err := New(WithDevices(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range Systems() {
+		old, err := oldSim.Run(sys, req, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		got, err := newSim.Simulate(sys, req)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if got.StepSec != old.StepSec || got.PrefillSec != old.PrefillSec || got.Batch != old.Batch {
+			t.Errorf("%s: Simulate %+v differs from deprecated Run %+v", sys, got, old)
+		}
+	}
+}
+
+// Scheduling a 200-request Azure-like backlog over 4 pipelines strictly
+// lowers the makespan while generating the identical token total.
+func TestBacklogPipelinesSpeedup(t *testing.T) {
+	m, _ := ModelByName("OPT-30B")
+	trace, err := NewWorkloadTrace(11, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := New(WithDevices(16), WithPipelines(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := New(WithDevices(16), WithPipelines(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := serial.Backlog(m, trace, 16, SystemVLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := fanned.Backlog(m, trace, 16, SystemVLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.MakespanSec >= s1.MakespanSec {
+		t.Errorf("4 pipelines (%.1fs) not strictly below 1 pipeline (%.1fs)", s4.MakespanSec, s1.MakespanSec)
+	}
+	if s4.OutputTokens != s1.OutputTokens {
+		t.Errorf("token totals differ: %d vs %d", s4.OutputTokens, s1.OutputTokens)
+	}
+	if s4.Pipelines != 4 || len(s4.PerPipelineSec) != 4 {
+		t.Errorf("per-pipeline attribution missing: %+v", s4)
+	}
+	// Determinism across runs.
+	again, err := fanned.Backlog(m, trace, 16, SystemVLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MakespanSec != s4.MakespanSec {
+		t.Errorf("makespan nondeterministic: %v vs %v", again.MakespanSec, s4.MakespanSec)
+	}
+}
+
+func TestEnergyBreakdownFacade(t *testing.T) {
+	s, _ := New()
+	m, _ := ModelByName("OPT-30B")
+	rep, err := s.Simulate(SystemHILOS, Request{Model: m, Batch: 8, Context: 16384, OutputLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Energy(rep, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CPU <= 0 || b.DRAM <= 0 || b.GPU <= 0 || b.SSD <= 0 {
+		t.Errorf("energy breakdown %+v", b)
+	}
+	if b.Total() != b.CPU+b.DRAM+b.GPU+b.SSD {
+		t.Error("Total() does not sum the components")
+	}
+	// The deprecated 4-float shim agrees with the struct.
+	cpu, dram, gpu, ssd, err := s.EnergyPerToken(rep, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != b.CPU || dram != b.DRAM || gpu != b.GPU || ssd != b.SSD {
+		t.Error("EnergyPerToken shim disagrees with Energy")
+	}
+}
+
 func TestNewSimulator(t *testing.T) {
 	s, err := NewSimulator()
 	if err != nil {

@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/pipeline"
+)
+
+// System identifiers registered by this package — the Fig. 10 / Fig. 17(b)
+// comparison systems.
+const (
+	SysFlexSSD   engine.System = "flex-ssd"
+	SysFlexDRAM  engine.System = "flex-dram"
+	SysFlex16SSD engine.System = "flex-16ssd"
+	SysDSUVM     engine.System = "ds-uvm"
+	SysVLLM      engine.System = "vllm"
+)
+
+// flexEngine binds a FlexVariant to a testbed as a registry engine.
+type flexEngine struct {
+	sys  engine.System
+	desc string
+	tb   device.Testbed
+	v    FlexVariant
+}
+
+func (e flexEngine) Name() engine.System                      { return e.sys }
+func (e flexEngine) Describe() string                         { return e.desc }
+func (e flexEngine) Run(req pipeline.Request) pipeline.Report { return e.v.Run(e.tb, req) }
+
+const vllmDesc = "multi-node vLLM: 2×4 RTX A6000, tensor parallel within a node, pipeline parallel across (Fig. 17b)"
+
+// vllmEngine binds the multi-node vLLM model to a testbed.
+type vllmEngine struct {
+	tb device.Testbed
+	c  VLLMConfig
+}
+
+func (e vllmEngine) Name() engine.System                      { return SysVLLM }
+func (e vllmEngine) Describe() string                         { return vllmDesc }
+func (e vllmEngine) Run(req pipeline.Request) pipeline.Report { return e.c.Run(e.tb, req) }
+
+func init() {
+	flex := func(sys engine.System, rank int, desc string, mk func(device.Testbed) FlexVariant) {
+		engine.Register(engine.Spec{
+			System: sys, Rank: rank, Describe: desc,
+			New: func(cfg engine.Config) (engine.Engine, error) {
+				return flexEngine{sys: sys, desc: desc, tb: cfg.Testbed, v: mk(cfg.Testbed)}, nil
+			},
+		})
+	}
+	flex(SysFlexSSD, 10, "FlexGen-style offloading, KV cache on 4 PCIe 4.0 SSDs", FlexSSD)
+	flex(SysFlexDRAM, 20, "FlexGen-style offloading, KV cache in host DRAM", FlexDRAM)
+	flex(SysFlex16SSD, 30, "FlexGen on the 16-SmartSSD array with FPGAs disabled (shared uplink)", Flex16SSD)
+	flex(SysDSUVM, 40, "DeepSpeed ZeRO-Inference with unified virtual memory, KV in DRAM", DeepSpeedUVM)
+	engine.Register(engine.Spec{
+		System: SysVLLM, Rank: 50, Describe: vllmDesc,
+		New: func(cfg engine.Config) (engine.Engine, error) {
+			return vllmEngine{tb: cfg.Testbed, c: DefaultVLLM()}, nil
+		},
+	})
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/pipeline"
+)
+
+// System identifiers registered by this package — full HILOS and the
+// Fig. 15 ablation ladder.
+const (
+	SysHILOS    engine.System = "hilos"
+	SysHILOSANS engine.System = "hilos-ans"
+	SysHILOSWB  engine.System = "hilos-wb"
+	SysHILOSX   engine.System = "hilos-x"
+)
+
+// hilosEngine binds one HILOS configuration to a testbed as a registry
+// engine.
+type hilosEngine struct {
+	sys  engine.System
+	desc string
+	tb   device.Testbed
+	opt  Options
+}
+
+func (e hilosEngine) Name() engine.System                      { return e.sys }
+func (e hilosEngine) Describe() string                         { return e.desc }
+func (e hilosEngine) Run(req pipeline.Request) pipeline.Report { return Run(e.tb, req, e.opt) }
+
+func init() {
+	reg := func(sys engine.System, rank int, desc string, mk func(engine.Config) Options) {
+		engine.Register(engine.Spec{
+			System: sys, Rank: rank, Describe: desc,
+			New: func(cfg engine.Config) (engine.Engine, error) {
+				return hilosEngine{
+					sys:  sys,
+					desc: fmt.Sprintf("%s (%d SmartSSDs)", desc, cfg.Devices),
+					tb:   cfg.Testbed,
+					opt:  mk(cfg),
+				}, nil
+			},
+		})
+	}
+	reg(SysHILOS, 60, "full HILOS: attention near storage + X-cache + delayed writeback (§4)",
+		func(cfg engine.Config) Options {
+			return Options{
+				Devices: cfg.Devices, XCache: true, DelayedWriteback: true,
+				Alpha: cfg.Alpha, SpillInterval: cfg.SpillInterval,
+			}
+		})
+	reg(SysHILOSANS, 70, "ablation: attention near storage only (Fig. 15 ANS)",
+		func(cfg engine.Config) Options {
+			return Options{Devices: cfg.Devices}
+		})
+	reg(SysHILOSWB, 80, "ablation: ANS + delayed KV-cache writeback (Fig. 15 ANS+WB)",
+		func(cfg engine.Config) Options {
+			return Options{Devices: cfg.Devices, DelayedWriteback: true, SpillInterval: cfg.SpillInterval}
+		})
+	reg(SysHILOSX, 90, "ablation: ANS + cooperative X-cache execution (Fig. 15 ANS+X)",
+		func(cfg engine.Config) Options {
+			return Options{Devices: cfg.Devices, XCache: true, Alpha: cfg.Alpha}
+		})
+}

@@ -125,6 +125,135 @@ func TestEvaluateOOM(t *testing.T) {
 	}
 }
 
+// Integer-pass accounting: a batch of 3 an engine can only fit 2 of runs
+// ceil(3/2) = 2 full passes, each paying prefill again — not 1.5 fractional
+// passes.
+func TestEvaluateIntegerPasses(t *testing.T) {
+	jobs := jobsFromTrace([]workload.Class{workload.Short, workload.Short, workload.Short})
+	batches, _ := PackByClass(jobs, 3)
+	shrink := func(req pipeline.Request) pipeline.Report {
+		return pipeline.Report{Batch: 2, StepSec: 1, PrefillSec: 10}
+	}
+	s, err := Evaluate(model.OPT30B, batches, shrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pass: 10 + 99×1 = 109 s. Two passes: 218 s. Fractional 1.5 passes
+	// would give 163.5 s and undercharge the second prefill.
+	if want := 2 * 109.0; s.MakespanSec != want {
+		t.Errorf("makespan %v, want %v (integer passes with per-pass prefill)", s.MakespanSec, want)
+	}
+}
+
+// Failed-work accounting: OOM batches keep their jobs out of OutputTokens
+// and the makespan but surface them in FailedJobs/FailedJobIDs.
+func TestEvaluateFailedJobs(t *testing.T) {
+	jobs := jobsFromTrace([]workload.Class{workload.Short, workload.Short, workload.Long})
+	batches, _ := PackByClass(jobs, 2) // Long batch {2}, Short batch {0,1}
+	longOOM := func(req pipeline.Request) pipeline.Report {
+		if req.Context == workload.Long.Input {
+			return pipeline.Report{OOM: true, Reason: "storage OOM"}
+		}
+		return pipeline.Report{Batch: req.Batch, StepSec: 1, PrefillSec: 1}
+	}
+	s, err := Evaluate(model.OPT30B, batches, longOOM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != 3 || s.FailedJobs != 1 || s.CompletedJobs() != 2 {
+		t.Errorf("job accounting %+v", s)
+	}
+	if len(s.FailedJobIDs) != 1 || s.FailedJobIDs[0] != 2 {
+		t.Errorf("failed IDs %v, want [2]", s.FailedJobIDs)
+	}
+	if s.OutputTokens != 2*int64(workload.Short.Output) {
+		t.Errorf("tokens %d include failed work", s.OutputTokens)
+	}
+	// An engine reporting a non-OOM zero batch is equally unrunnable.
+	zero := func(pipeline.Request) pipeline.Report { return pipeline.Report{Batch: 0, StepSec: 1} }
+	s, err = Evaluate(model.OPT30B, batches, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FailedJobs != 3 || s.OOMBatches != 2 {
+		t.Errorf("zero-batch reports not treated as failures: %+v", s)
+	}
+}
+
+// Multi-pipeline scheduling is deterministic: batches go to the
+// earliest-idle pipeline in plan order, so the makespan equals the maximum
+// pipeline load of that list schedule, run after run, and total tokens are
+// unchanged from the serial plan.
+func TestEvaluatePipelinesDeterministic(t *testing.T) {
+	var classes []workload.Class
+	for i := 0; i < 12; i++ {
+		classes = append(classes, []workload.Class{workload.Short, workload.Medium, workload.Long}[i%3])
+	}
+	batches, err := PackByClass(jobsFromTrace(classes), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := func(req pipeline.Request) pipeline.Report {
+		// Distinct per-class durations: TotalSec = prefill + (out-1)*step.
+		return pipeline.Report{Batch: req.Batch, StepSec: float64(req.Context) / 1e6, PrefillSec: 5}
+	}
+
+	serial, err := Evaluate(model.OPT30B, batches, fake)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference list schedule on the serial per-batch durations.
+	const P = 3
+	var load [P]float64
+	for _, b := range batches {
+		rep := fake(pipeline.Request{Model: model.OPT30B, Batch: len(b.Jobs), Context: b.Class.Input, OutputLen: b.Class.Output})
+		p := 0
+		for q := 1; q < P; q++ {
+			if load[q] < load[p] {
+				p = q
+			}
+		}
+		load[p] += batchSec(b, rep)
+	}
+	want := 0.0
+	for _, l := range load {
+		if l > want {
+			want = l
+		}
+	}
+
+	for trial := 0; trial < 5; trial++ {
+		s, err := Evaluate(model.OPT30B, batches, fake, WithPipelines(P))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MakespanSec != want {
+			t.Fatalf("trial %d: makespan %v, want max pipeline load %v", trial, s.MakespanSec, want)
+		}
+		if s.MakespanSec >= serial.MakespanSec {
+			t.Fatalf("%d pipelines no faster than serial: %v vs %v", P, s.MakespanSec, serial.MakespanSec)
+		}
+		if s.OutputTokens != serial.OutputTokens {
+			t.Fatalf("token accounting changed under %d pipelines", P)
+		}
+		if s.Pipelines != P || len(s.PerPipelineSec) != P {
+			t.Fatalf("pipeline attribution missing: %+v", s)
+		}
+		nb := 0
+		for _, n := range s.PerPipelineBatches {
+			nb += n
+		}
+		if nb != s.Batches-s.OOMBatches {
+			t.Fatalf("per-pipeline batch counts sum to %d, want %d", nb, s.Batches-s.OOMBatches)
+		}
+	}
+
+	if _, err := Evaluate(model.OPT30B, batches, fake, WithPipelines(0)); err == nil {
+		t.Error("pipelines = 0 accepted")
+	}
+}
+
 // Integration: HILOS completes the same backlog faster than the FlexGen
 // baseline on the real engines.
 func TestHILOSFinishesBacklogFaster(t *testing.T) {
