@@ -1,0 +1,258 @@
+package hilos
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Cluster-facing re-exports.
+type (
+	// TimedRequest is one timestamped inference request — the unit the
+	// cluster admission layer drains.
+	TimedRequest = workload.TimedRequest
+	// ClusterSummary reports a cluster evaluation: makespan, queueing-delay
+	// percentiles, rejected/failed work, and per-pipeline cost/energy
+	// attribution.
+	ClusterSummary = cluster.Summary
+	// ClusterPipelineStats attributes work to one fleet member.
+	ClusterPipelineStats = cluster.PipelineStats
+	// DispatchPolicy selects how batches pick pipelines.
+	DispatchPolicy = cluster.Policy
+)
+
+// The dispatch policies of the cluster scheduler.
+const (
+	// DispatchLeastLoaded sends each batch to the earliest-available
+	// pipeline — serving.Evaluate's homogeneous semantics, generalized.
+	DispatchLeastLoaded = cluster.LeastLoaded
+	// DispatchCheapestFeasible sends each batch to the feasible pipeline
+	// with the lowest amortized dollar cost for it (internal/cost pricing).
+	DispatchCheapestFeasible = cluster.CheapestFeasible
+	// DispatchFastestETA sends each batch to the pipeline that completes it
+	// earliest, counting queueing.
+	DispatchFastestETA = cluster.FastestETA
+)
+
+// DispatchPolicies lists the policies in documentation order.
+func DispatchPolicies() []DispatchPolicy { return cluster.Policies() }
+
+// SystemInstInfer is the InstInfer-style in-storage attention engine with
+// lossy top-1/8 KV retrieval — the approximate middle tier between the
+// exact NSP systems and the DRAM baselines.
+const SystemInstInfer = baseline.SysInstInfer
+
+// amortHours spreads a system's hardware price over a three-year service
+// life, the horizon of the §6.6 cost-effectiveness analysis.
+const amortHours = 3 * 365 * 24
+
+// clusterConfig collects ClusterOption state.
+type clusterConfig struct {
+	tb         Testbed
+	fleet      []fleetSpec
+	policy     DispatchPolicy
+	maxBatch   int
+	maxWaitSec float64
+	maxBacklog int
+}
+
+type fleetSpec struct {
+	sys     System
+	count   int
+	devices int
+}
+
+// ClusterOption configures Cluster.
+type ClusterOption func(*clusterConfig) error
+
+// WithFleet appends count pipelines backed by the given registered system
+// to the fleet; devices is the SmartSSD/computational-SSD count for NSP
+// engines (≤0 = the default 8; baselines with fixed topologies ignore it).
+// Repeat the option to compose heterogeneous fleets, e.g. two HILOS hosts
+// plus a DRAM baseline plus an InstInfer tier.
+func WithFleet(sys System, count, devices int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if count < 1 {
+			return errorf("fleet count for %s must be ≥ 1, got %d", sys, count)
+		}
+		c.fleet = append(c.fleet, fleetSpec{sys: sys, count: count, devices: devices})
+		return nil
+	}
+}
+
+// WithDispatchPolicy selects the batch-to-pipeline policy (default
+// DispatchLeastLoaded).
+func WithDispatchPolicy(p DispatchPolicy) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.policy = p
+		return nil
+	}
+}
+
+// WithAdmission sets the batch-formation policy: a per-class batch closes
+// at maxBatch requests or when its oldest member has waited maxWaitSec,
+// whichever comes first (defaults: 16 and 60 s).
+func WithAdmission(maxBatch int, maxWaitSec float64) ClusterOption {
+	return func(c *clusterConfig) error {
+		if maxBatch < 1 {
+			return errorf("admission max batch must be ≥ 1, got %d", maxBatch)
+		}
+		if maxWaitSec < 0 {
+			return errorf("admission max wait must be ≥ 0, got %g", maxWaitSec)
+		}
+		c.maxBatch, c.maxWaitSec = maxBatch, maxWaitSec
+		return nil
+	}
+}
+
+// WithMaxBacklog caps admitted-but-unstarted requests; arrivals beyond the
+// cap are rejected (default 0 = unbounded, pure offline admission).
+func WithMaxBacklog(n int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if n < 0 {
+			return errorf("max backlog must be ≥ 0, got %d", n)
+		}
+		c.maxBacklog = n
+		return nil
+	}
+}
+
+// WithClusterTestbed replaces the default Table 1 testbed for every fleet
+// member (engine timing, pricing and energy attribution).
+func WithClusterTestbed(tb Testbed) ClusterOption {
+	return func(c *clusterConfig) error {
+		if err := tb.Validate(); err != nil {
+			return err
+		}
+		c.tb = tb
+		return nil
+	}
+}
+
+// Cluster drains a timestamped request trace through a heterogeneous fleet:
+// the trace-driven generalization of Backlog. Requests are admitted into
+// per-class queues, packed into batches under the admission policy, and
+// dispatched to fleet pipelines — each backed by its own registered engine,
+// priced by the §6.6 hardware model amortized over three years — under the
+// selected policy. The default fleet is two 8-device HILOS hosts plus one
+// FlexGen-DRAM baseline; results are deterministic for a given trace and
+// configuration.
+func Cluster(m Model, reqs []TimedRequest, opts ...ClusterOption) (ClusterSummary, error) {
+	cfg := clusterConfig{
+		tb:         device.DefaultTestbed(),
+		policy:     DispatchLeastLoaded,
+		maxBatch:   16,
+		maxWaitSec: 60,
+	}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return ClusterSummary{}, err
+		}
+	}
+	if len(cfg.fleet) == 0 {
+		cfg.fleet = []fleetSpec{
+			{sys: SystemHILOS, count: 2, devices: 8},
+			{sys: SystemFlexDRAM, count: 1},
+		}
+	}
+
+	var fleet []cluster.Pipeline
+	for _, fs := range cfg.fleet {
+		devices := fs.devices
+		if devices <= 0 {
+			devices = 8
+		}
+		eng, err := engine.New(fs.sys, engine.Config{
+			Testbed: cfg.tb, Devices: devices, Alpha: AlphaAuto, SpillInterval: 16,
+		})
+		if err != nil {
+			return ClusterSummary{}, err
+		}
+		usdPerHour, ec := pipelineEconomics(fs.sys, devices, cfg.tb)
+		for i := 0; i < fs.count; i++ {
+			fleet = append(fleet, cluster.Pipeline{
+				Name:       fmt.Sprintf("%s/%d", fs.sys, len(fleet)),
+				Run:        eng.Run,
+				USDPerHour: usdPerHour,
+				Energy:     ec,
+				// Pipelines from one fleet spec share the engine, so their
+				// batch simulations memoize together.
+				EngineID: fmt.Sprintf("%s/%d-dev", fs.sys, devices),
+			})
+		}
+	}
+
+	return cluster.Run(cluster.Config{
+		Model:  m,
+		Fleet:  fleet,
+		Policy: cfg.policy,
+		Admission: cluster.Admission{
+			MaxBatch:   cfg.maxBatch,
+			MaxWaitSec: cfg.maxWaitSec,
+			MaxBacklog: cfg.maxBacklog,
+		},
+	}, reqs)
+}
+
+// pipelineEconomics prices one pipeline's hardware via the §6.6 bill of
+// materials, amortized to $/hour, and selects its Fig. 17(a) energy model.
+func pipelineEconomics(sys System, devices int, tb Testbed) (float64, *cluster.EnergyConfig) {
+	var cs cost.System
+	ec := energy.Config{Storage: energy.PlainSSDs, Devices: 4}
+	switch {
+	case strings.HasPrefix(string(sys), "hilos") || sys == SystemInstInfer:
+		// NSP tiers: host + GPU + chassis + computational SSDs.
+		cs = cost.HILOSSystem(tb.GPU, devices)
+		ec = energy.Config{Storage: energy.SmartSSDs, Devices: devices, AccelPowerW: tb.SmartSSD.AccelPowerW}
+	case sys == SystemFlex16SSD:
+		// The SmartSSD array with FPGAs off: chassis + 16 devices, SSD-only
+		// power.
+		cs = cost.System{Name: string(sys), GPU: tb.GPU, SmartSSDs: 16, Hosts: 1}
+		ec = energy.Config{Storage: energy.SmartSSDs, Devices: 16}
+	case sys == SystemVLLM:
+		// Two 4-GPU nodes, no offload storage.
+		cs = cost.System{Name: string(sys), GPU: tb.GPU, Hosts: 2, ExtraGPUs: 7}
+		ec = energy.Config{Storage: energy.NoSSD, GPUCount: 8}
+	default:
+		// FlexGen-style single host with four plain SSDs.
+		cs = cost.FlexSystem(tb.GPU)
+	}
+	return cs.PriceUSD(tb) / amortHours, &cluster.EnergyConfig{Testbed: tb, Model: ec}
+}
+
+// NewTimedWorkloadTrace draws n requests from the Azure-like offline mix
+// and stamps them with Poisson arrivals at ratePerSec — deterministic per
+// seed. The one-call path from nothing to a Cluster-ready trace.
+func NewTimedWorkloadTrace(seed int64, n int, ratePerSec float64) ([]TimedRequest, error) {
+	g, err := workload.NewGenerator(seed, workload.AzureLikeMix())
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := workload.PoissonArrivals(seed, ratePerSec, n)
+	if err != nil {
+		return nil, err
+	}
+	return g.TimedTrace(arrivals)
+}
+
+// ReadArrivalTrace parses an arrival-trace CSV (arrival_sec,class or
+// arrival_sec,class,input_tokens,output_tokens; optional header) into
+// timestamped requests.
+func ReadArrivalTrace(r io.Reader) ([]TimedRequest, error) {
+	return trace.ReadArrivalsCSV(r)
+}
+
+// WriteArrivalTrace writes requests as an arrival-trace CSV that
+// round-trips through ReadArrivalTrace.
+func WriteArrivalTrace(w io.Writer, reqs []TimedRequest) error {
+	return trace.WriteArrivalsCSV(w, reqs)
+}

@@ -1,0 +1,177 @@
+// Command hilos-cluster evaluates trace-driven admission and cost-aware
+// dispatch over a heterogeneous fleet of simulated inference systems: the
+// production-deployment question the paper's offline-inference framing
+// leads to — given mixed hardware tiers, which requests should run where?
+//
+// Usage:
+//
+//	hilos-cluster                                # default fleet, all policies
+//	hilos-cluster -fleet hilos:2x16,flex-dram:1,instinfer:1x16
+//	hilos-cluster -n 96 -rate 1.5 -seed 7        # Poisson arrivals
+//	hilos-cluster -trace reqs.csv                # replay a recorded trace
+//	hilos-cluster -policy cheapest-feasible      # one policy only
+//	hilos-cluster -sweep 0.5,1,2,4               # arrival-rate sweep
+//	hilos-cluster -list-systems
+//
+// Fleet syntax: comma-separated system[:count[xdevices]] terms — e.g.
+// "hilos:2x16" is two HILOS pipelines with 16 SmartSSDs each, "flex-dram:1"
+// one DRAM-baseline pipeline. Any registered engine system is accepted.
+//
+// Admission: -batch is the per-class target batch size; a partial batch is
+// released once its oldest request has waited -wait seconds. -backlog caps
+// admitted-but-unstarted requests (0 = unbounded); arrivals beyond the cap
+// are rejected and reported.
+//
+// Dispatch policies (-policy, default "all"):
+//
+//	least-loaded       earliest-available pipeline (pure load balancing)
+//	cheapest-feasible  lowest amortized $ for the batch among feasible
+//	                   pipelines (§6.6 hardware pricing over 3 years)
+//	fastest-eta        earliest completion, counting queueing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	hilos "repro"
+)
+
+func main() {
+	modelName := flag.String("model", "OPT-30B", "Table 2 model name")
+	fleetSpec := flag.String("fleet", "hilos:2x8,flex-dram:1", "fleet composition: system[:count[xdevices]],...")
+	n := flag.Int("n", 64, "number of generated requests (ignored with -trace)")
+	rate := flag.Float64("rate", 1.0, "Poisson arrival rate, requests/second (ignored with -trace)")
+	seed := flag.Int64("seed", 7, "workload seed (ignored with -trace)")
+	traceFile := flag.String("trace", "", "replay an arrival-trace CSV instead of generating one")
+	batch := flag.Int("batch", 8, "admission: target batch size per class")
+	wait := flag.Float64("wait", 30, "admission: max seconds the oldest queued request waits")
+	backlog := flag.Int("backlog", 0, "admission: reject arrivals beyond this unstarted backlog (0 = unbounded)")
+	policy := flag.String("policy", "all", "dispatch policy, or \"all\" to compare")
+	sweep := flag.String("sweep", "", "comma-separated arrival rates to sweep (e.g. 0.5,1,2)")
+	listSystems := flag.Bool("list-systems", false, "list registered engine systems and exit")
+	flag.Parse()
+
+	if *listSystems {
+		for _, sys := range hilos.Systems() {
+			fmt.Printf("%-12s %s\n", sys, hilos.DescribeSystem(sys))
+		}
+		return
+	}
+
+	m, err := hilos.ModelByName(*modelName)
+	check(err)
+	fleet, err := parseFleet(*fleetSpec)
+	check(err)
+
+	policies := hilos.DispatchPolicies()
+	if *policy != "all" {
+		policies = []hilos.DispatchPolicy{hilos.DispatchPolicy(*policy)}
+	}
+
+	rates := []float64{*rate}
+	if *sweep != "" {
+		rates = nil
+		for _, f := range strings.Split(*sweep, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			check(err)
+			rates = append(rates, r)
+		}
+		if *traceFile != "" {
+			check(fmt.Errorf("-sweep and -trace are mutually exclusive"))
+		}
+	}
+
+	for _, r := range rates {
+		reqs, label, err := loadTrace(*traceFile, *seed, *n, r)
+		check(err)
+		fmt.Printf("== %s | model %s | fleet %s | batch %d wait %gs", label, m.Name, *fleetSpec, *batch, *wait)
+		if *backlog > 0 {
+			fmt.Printf(" backlog %d", *backlog)
+		}
+		fmt.Println(" ==")
+		for _, p := range policies {
+			opts := append(fleet,
+				hilos.WithAdmission(*batch, *wait),
+				hilos.WithMaxBacklog(*backlog),
+				hilos.WithDispatchPolicy(p),
+			)
+			s, err := hilos.Cluster(m, reqs, opts...)
+			check(err)
+			printSummary(s)
+		}
+		fmt.Println()
+	}
+}
+
+// parseFleet turns "hilos:2x16,flex-dram:1" into fleet options.
+func parseFleet(spec string) ([]hilos.ClusterOption, error) {
+	var opts []hilos.ClusterOption
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		sys, rest, _ := strings.Cut(term, ":")
+		count, devices := 1, 0
+		if rest != "" {
+			c, d, hasDev := strings.Cut(rest, "x")
+			var err error
+			if count, err = strconv.Atoi(c); err != nil {
+				return nil, fmt.Errorf("bad fleet term %q: count %q", term, c)
+			}
+			if hasDev {
+				if devices, err = strconv.Atoi(d); err != nil {
+					return nil, fmt.Errorf("bad fleet term %q: devices %q", term, d)
+				}
+			}
+		}
+		opts = append(opts, hilos.WithFleet(hilos.System(sys), count, devices))
+	}
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("empty fleet spec")
+	}
+	return opts, nil
+}
+
+func loadTrace(path string, seed int64, n int, rate float64) ([]hilos.TimedRequest, string, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		reqs, err := hilos.ReadArrivalTrace(f)
+		return reqs, fmt.Sprintf("trace %s (%d requests)", path, len(reqs)), err
+	}
+	reqs, err := hilos.NewTimedWorkloadTrace(seed, n, rate)
+	return reqs, fmt.Sprintf("%d requests, Poisson %g req/s, seed %d", n, rate, seed), err
+}
+
+func printSummary(s hilos.ClusterSummary) {
+	fmt.Printf("%-18s makespan %9.1fs  tok/s %8.1f  delay p50/p95/p99 %6.1f/%6.1f/%6.1fs",
+		s.Policy, s.MakespanSec, s.Throughput(), s.DelayP50Sec, s.DelayP95Sec, s.DelayP99Sec)
+	fmt.Printf("  cost $%.4f  energy %.1fkJ", s.TotalCostUSD, s.TotalEnergyJ/1e3)
+	if s.RejectedJobs > 0 || s.FailedJobs > 0 {
+		fmt.Printf("  rejected %d failed %d", s.RejectedJobs, s.FailedJobs)
+	}
+	fmt.Println()
+	for _, ps := range s.Pipelines {
+		fmt.Printf("    %-16s %3d batches %4d jobs  busy %8.1fs  util %5.1f%%  $%.4f  %.1fkJ",
+			ps.Name, ps.Batches, ps.Jobs, ps.BusySec, 100*ps.Utilization, ps.CostUSD, ps.EnergyJ/1e3)
+		if ps.EnergyErr != "" {
+			fmt.Printf("  (energy: %s)", ps.EnergyErr)
+		}
+		fmt.Println()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hilos-cluster:", err)
+		os.Exit(1)
+	}
+}

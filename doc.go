@@ -54,14 +54,41 @@
 // via Experiments and ExperimentByID, and the accuracy harness via
 // AccuracySuite.
 //
-// # Offline backlogs and multi-pipeline deployments
+// # Serving: clusters, backlogs, and admission
 //
-// Backlog models the paper's deployment: a request trace packed into
-// same-shape batches and drained through an engine. WithPipelines(n)
-// schedules the plan over n independent pipelines (e.g. several SmartSSD
-// hosts) sharing one queue — batch simulations fan out over worker
-// goroutines, scheduling uses the simulated clock, and the summary reports
-// per-pipeline and per-class attribution plus failed-work accounting:
+// The service layer is the internal/cluster scheduler: a discrete-event,
+// simulated-clock dispatcher that admits timestamped requests into
+// per-class queues, packs batches under a max-batch/max-wait admission
+// policy, and assigns each batch to one pipeline of a fleet whose members
+// may be backed by different registered engines. Cluster composes a fleet
+// with functional options and drains a trace through it:
+//
+//	reqs, _ := hilos.NewTimedWorkloadTrace(7, 96, 0.8) // Poisson 0.8 req/s
+//	sum, err := hilos.Cluster(m, reqs,
+//		hilos.WithFleet(hilos.SystemHILOS, 2, 16),    // two 16-device NSP hosts
+//		hilos.WithFleet(hilos.SystemFlexDRAM, 1, 0),  // one DRAM baseline
+//		hilos.WithFleet(hilos.SystemInstInfer, 1, 16),// lossy 1/8 middle tier
+//		hilos.WithAdmission(16, 30),                  // batch ≤16, wait ≤30 s
+//		hilos.WithDispatchPolicy(hilos.DispatchCheapestFeasible),
+//	)
+//
+// Dispatch policies: DispatchLeastLoaded (earliest-available pipeline),
+// DispatchCheapestFeasible (lowest amortized dollars for the batch, §6.6
+// pricing over a three-year life), and DispatchFastestETA (earliest
+// completion counting queueing). WithMaxBacklog caps
+// admitted-but-unstarted work and rejects arrivals beyond it. The summary
+// reports makespan, queueing-delay percentiles (p50/p95/p99), rejected and
+// failed work, and per-pipeline utilization/cost/energy attribution —
+// deterministically, run after run. Arrival traces round-trip through
+// ReadArrivalTrace/WriteArrivalTrace CSV, and cmd/hilos-cluster sweeps
+// fleet compositions, rates and policies from the command line.
+//
+// Backlog remains the offline special case — a request trace packed into
+// same-shape batches, released at time zero over WithPipelines(n)
+// identical pipelines — and serving.Evaluate delegates to the same cluster
+// dispatch core, so there is exactly one scheduling implementation. When
+// an engine shrinks a batch, the remainder is charged as a smaller final
+// pass simulated at its exact tail shape:
 //
 //	deploy, _ := hilos.New(hilos.WithDevices(16), hilos.WithPipelines(4))
 //	trace, _ := hilos.NewWorkloadTrace(7, 200)

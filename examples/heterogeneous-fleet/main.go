@@ -1,0 +1,84 @@
+// Heterogeneous-fleet walkthrough: the paper prices one HILOS host against
+// one baseline server (§6.6), but a production deployment mixes tiers —
+// exact NSP hosts for the long-context tail, a cheap DRAM baseline for
+// short prompts, and an approximate InstInfer tier in between. This example
+// drains one trace-driven workload through such a fleet under each dispatch
+// policy and shows where every policy sends the work, what it costs, and
+// what happens when a burst exceeds the admission backlog.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hilos "repro"
+)
+
+func main() {
+	m, err := hilos.ModelByName("OPT-30B")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A timestamped trace: 96 requests arriving as a Poisson process at 0.8
+	// req/s, drawn from the Azure-like mix (60% short, 30% medium, 10%
+	// long-context). Deterministic per seed.
+	reqs, err := hilos.NewTimedWorkloadTrace(7, 96, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := reqs[len(reqs)-1].ArrivalSec
+	fmt.Printf("trace: %d requests over %.0f s (%.2f req/s), model %s\n\n",
+		len(reqs), last, float64(len(reqs))/last, m.Name)
+
+	// The fleet mixes three engine tiers. Prices come from the §6.6 bill of
+	// materials amortized over three years; energy from the Fig. 17(a)
+	// model.
+	fleet := []hilos.ClusterOption{
+		hilos.WithFleet(hilos.SystemHILOS, 2, 8),     // exact NSP, fast on long contexts
+		hilos.WithFleet(hilos.SystemFlexDRAM, 1, 0),  // cheapest hardware, DRAM-bound
+		hilos.WithFleet(hilos.SystemInstInfer, 1, 8), // lossy 1/8 retrieval middle tier
+		hilos.WithAdmission(8, 30),                   // batch up to 8/class, ≤30 s wait
+	}
+
+	fmt.Println("policy comparison (same trace, same fleet):")
+	fmt.Printf("  %-18s %12s %9s %22s %10s\n", "policy", "makespan (h)", "tok/s", "delay p50/p95/p99 (s)", "cost ($)")
+	for _, p := range hilos.DispatchPolicies() {
+		s, err := hilos.Cluster(m, reqs, append(fleet, hilos.WithDispatchPolicy(p))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s %12.2f %9.1f %8.0f/%5.0f/%5.0f %10.4f\n",
+			s.Policy, s.MakespanSec/3600, s.Throughput(),
+			s.DelayP50Sec, s.DelayP95Sec, s.DelayP99Sec, s.TotalCostUSD)
+		for _, ps := range s.Pipelines {
+			if ps.Batches == 0 {
+				continue
+			}
+			fmt.Printf("      %-16s %3d batches  util %5.1f%%  $%.4f  %.0f kJ\n",
+				ps.Name, ps.Batches, 100*ps.Utilization, ps.CostUSD, ps.EnergyJ/1e3)
+		}
+	}
+
+	fmt.Println("\nleast-loaded balances queues; cheapest-feasible concentrates work on")
+	fmt.Println("the cheapest adequate tier (lower $, longer makespan); fastest-eta")
+	fmt.Println("buys back completion time wherever the ETA is best.")
+
+	// Online admission: quadruple the arrival rate and cap the backlog.
+	// Requests beyond the cap are rejected instead of queueing unboundedly —
+	// the online/offline mix the ROADMAP calls for.
+	burst, err := hilos.NewTimedWorkloadTrace(11, 96, 4.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := hilos.Cluster(m, burst, append(fleet,
+		hilos.WithDispatchPolicy(hilos.DispatchFastestETA),
+		hilos.WithMaxBacklog(24),
+	)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nburst at 4 req/s with a 24-request backlog cap (fastest-eta):\n")
+	fmt.Printf("  admitted %d / rejected %d of %d; makespan %.2f h; delay p99 %.0f s\n",
+		s.Admitted, s.RejectedJobs, s.Requests, s.MakespanSec/3600, s.DelayP99Sec)
+}

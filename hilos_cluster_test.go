@@ -1,0 +1,131 @@
+package hilos
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// Acceptance: a mixed fleet (two distinct engine systems plus the InstInfer
+// tier) drains a timestamped trace deterministically, reporting makespan,
+// delay percentiles and per-pipeline cost/energy attribution — and
+// least-loaded vs cheapest-feasible produce different assignments.
+func TestClusterMixedFleet(t *testing.T) {
+	m, err := ModelByName("OPT-30B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := NewTimedWorkloadTrace(7, 48, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := []ClusterOption{
+		WithFleet(SystemHILOS, 2, 8),
+		WithFleet(SystemFlexDRAM, 1, 0),
+		WithFleet(SystemInstInfer, 1, 8),
+		WithAdmission(8, 30),
+	}
+
+	run := func(p DispatchPolicy) ClusterSummary {
+		s, err := Cluster(m, reqs, append(fleet, WithDispatchPolicy(p))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ll := run(DispatchLeastLoaded)
+	if ll.Completed == 0 || ll.MakespanSec <= 0 {
+		t.Fatalf("degenerate summary %+v", ll)
+	}
+	if len(ll.Pipelines) != 4 {
+		t.Fatalf("fleet size %d, want 4", len(ll.Pipelines))
+	}
+	if ll.DelayP50Sec > ll.DelayP95Sec || ll.DelayP95Sec > ll.DelayP99Sec {
+		t.Errorf("delay percentiles not monotone: %v/%v/%v", ll.DelayP50Sec, ll.DelayP95Sec, ll.DelayP99Sec)
+	}
+	if ll.TotalCostUSD <= 0 || ll.TotalEnergyJ <= 0 {
+		t.Errorf("missing attribution: cost %v, energy %v", ll.TotalCostUSD, ll.TotalEnergyJ)
+	}
+
+	// Determinism across repeated facade calls.
+	again := run(DispatchLeastLoaded)
+	if !reflect.DeepEqual(ll, again) {
+		t.Fatal("repeated cluster runs differ")
+	}
+
+	// Cost-aware dispatch must route differently from load balancing on
+	// this fleet (the cheap DRAM baseline attracts short batches).
+	cf := run(DispatchCheapestFeasible)
+	same := true
+	for i := range ll.Assignments {
+		if ll.Assignments[i].Pipeline != cf.Assignments[i].Pipeline {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("least-loaded and cheapest-feasible produced identical assignments")
+	}
+	if cf.TotalCostUSD >= ll.TotalCostUSD {
+		t.Errorf("cheapest-feasible cost $%.4f not below least-loaded $%.4f",
+			cf.TotalCostUSD, ll.TotalCostUSD)
+	}
+	if cf.OutputTokens != ll.OutputTokens {
+		t.Errorf("policies completed different work: %d vs %d tokens", cf.OutputTokens, ll.OutputTokens)
+	}
+}
+
+func TestClusterDefaultsAndErrors(t *testing.T) {
+	m, _ := ModelByName("OPT-30B")
+	reqs, err := NewTimedWorkloadTrace(3, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default fleet: 2× HILOS + 1 DRAM baseline.
+	s, err := Cluster(m, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pipelines) != 3 {
+		t.Errorf("default fleet size %d, want 3", len(s.Pipelines))
+	}
+	if _, err := Cluster(m, reqs, WithFleet("no-such-system", 1, 0)); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := Cluster(m, reqs, WithFleet(SystemHILOS, 0, 8)); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Cluster(m, reqs, WithAdmission(0, 1)); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := Cluster(m, reqs, WithAdmission(1, -1)); err == nil {
+		t.Error("negative wait accepted")
+	}
+	if _, err := Cluster(m, reqs, WithMaxBacklog(-1)); err == nil {
+		t.Error("negative backlog accepted")
+	}
+	if _, err := Cluster(m, reqs, WithDispatchPolicy("vibes")); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := Cluster(m, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestArrivalTraceRoundTripFacade(t *testing.T) {
+	reqs, err := NewTimedWorkloadTrace(5, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteArrivalTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArrivalTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reqs, back) {
+		t.Error("arrival trace did not round-trip through CSV")
+	}
+}

@@ -4,12 +4,13 @@ import (
 	"testing"
 )
 
-// All nine System identifiers resolve through the registry to an Engine
-// whose name round-trips, in the paper's Fig. 10 presentation order.
+// All ten System identifiers resolve through the registry to an Engine
+// whose name round-trips, in the paper's Fig. 10 presentation order (the
+// InstInfer tier sits between the baselines and the HILOS family).
 func TestRegistryResolvesAllSystems(t *testing.T) {
 	want := []System{
 		SystemFlexSSD, SystemFlexDRAM, SystemFlex16SSD, SystemDSUVM,
-		SystemVLLM, SystemHILOS, SystemHILOSANS, SystemHILOSWB, SystemHILOSXOnly,
+		SystemVLLM, SystemInstInfer, SystemHILOS, SystemHILOSANS, SystemHILOSWB, SystemHILOSXOnly,
 	}
 	got := Systems()
 	if len(got) != len(want) {

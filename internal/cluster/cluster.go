@@ -1,0 +1,389 @@
+// Package cluster is the trace-driven service layer over heterogeneous
+// engine fleets: a discrete-event, simulated-clock dispatcher that admits
+// timestamped requests into per-class queues, packs batches under a
+// max-batch/max-wait admission policy (batcher-style timeout semantics),
+// and assigns each batch to one pipeline of a fleet whose members may be
+// backed by *different* registered engines (e.g. two HILOS hosts, a DRAM
+// baseline, and an InstInfer tier) under a pluggable cost-aware policy.
+//
+// The offline backlog of internal/serving is the degenerate trace — every
+// request arrives at time zero over identical pipelines — so
+// serving.Evaluate delegates to this package's Dispatch core: there is one
+// scheduling implementation, not two.
+//
+// Everything is deterministic under -race: engine simulations are pure and
+// prewarmed on a worker pool, while admission and assignment run on a
+// single goroutine against the simulated clock.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Request is one timestamped inference request.
+type Request = workload.TimedRequest
+
+// Admission is the batch-formation policy: a per-class batch closes when it
+// reaches MaxBatch requests or when its oldest member has waited MaxWaitSec
+// (whichever comes first), and new arrivals are rejected while the admitted
+// backlog holds MaxBacklog or more not-yet-started requests.
+type Admission struct {
+	// MaxBatch is the target batch size (≥ 1).
+	MaxBatch int
+	// MaxWaitSec is how long the oldest queued request may wait before its
+	// partial batch is released anyway. 0 releases a batch at the first
+	// arrival instant that leaves it partial; offline studies use a large
+	// value so batches always fill.
+	MaxWaitSec float64
+	// MaxBacklog caps admitted-but-unstarted requests (queued plus assigned
+	// to a pipeline that has not begun them). Arrivals beyond the cap are
+	// rejected — the knob that makes online/offline mixes studyable. 0
+	// means unbounded (pure offline admission).
+	MaxBacklog int
+}
+
+func (a Admission) validate() error {
+	if a.MaxBatch < 1 {
+		return fmt.Errorf("cluster: admission max batch must be ≥ 1, got %d", a.MaxBatch)
+	}
+	if a.MaxWaitSec < 0 || math.IsInf(a.MaxWaitSec, 0) || math.IsNaN(a.MaxWaitSec) {
+		return fmt.Errorf("cluster: admission max wait must be finite and ≥ 0, got %g", a.MaxWaitSec)
+	}
+	if a.MaxBacklog < 0 {
+		return fmt.Errorf("cluster: admission max backlog must be ≥ 0, got %d", a.MaxBacklog)
+	}
+	return nil
+}
+
+// Config describes one cluster evaluation.
+type Config struct {
+	Model     model.Config
+	Fleet     []Pipeline
+	Policy    Policy
+	Admission Admission
+}
+
+// PipelineStats attributes completed work to one fleet member.
+type PipelineStats struct {
+	Name    string
+	Batches int
+	Jobs    int
+	// BusySec is total execution time on this pipeline; Utilization is
+	// BusySec over the cluster makespan.
+	BusySec      float64
+	Utilization  float64
+	OutputTokens int64
+	// CostUSD is the amortized hardware dollars charged for BusySec.
+	CostUSD float64
+	// EnergyJ integrates the Fig. 17(a) model over the pipeline's completed
+	// work (0 when the pipeline has no energy config).
+	EnergyJ float64
+	// EnergyErr records the first energy-integration failure (e.g. a
+	// misconfigured EnergyConfig), so a 0 EnergyJ is never silently wrong.
+	EnergyErr string
+}
+
+// Summary is the outcome of draining a timestamped trace through a fleet.
+type Summary struct {
+	Policy Policy
+
+	// Requests counts the input trace; Admitted + Rejected == Requests, and
+	// Admitted == Completed + Failed.
+	Requests  int
+	Admitted  int
+	Completed int
+
+	// RejectedJobs were turned away at admission (backlog cap); FailedJobs
+	// were admitted but no pipeline could place their batch.
+	RejectedJobs   int
+	RejectedJobIDs []int
+	FailedBatches  int
+	FailedJobs     int
+	FailedJobIDs   []int
+
+	Batches int
+	// MakespanSec is the time from the first arrival to the completion of
+	// the last batch, so traces whose timestamps carry an offset (e.g.
+	// seconds-of-day recordings) do not dilute throughput or utilization.
+	// Assignment Start/FinishSec stay on the absolute trace clock.
+	MakespanSec  float64
+	OutputTokens int64
+
+	// Queueing delay — batch execution start minus request arrival — over
+	// completed requests.
+	DelayMeanSec float64
+	DelayP50Sec  float64
+	DelayP95Sec  float64
+	DelayP99Sec  float64
+
+	// PerClassSec attributes execution seconds to request classes.
+	PerClassSec map[string]float64
+	// Pipelines attributes work, cost and energy per fleet member.
+	Pipelines []PipelineStats
+	// Assignments records every batch's routing decision, in dispatch
+	// order, for policy comparisons.
+	Assignments []Assignment
+
+	// TotalCostUSD and TotalEnergyJ sum the per-pipeline attributions.
+	TotalCostUSD float64
+	TotalEnergyJ float64
+}
+
+// Throughput returns output tokens per second over the makespan.
+func (s Summary) Throughput() float64 {
+	if s.MakespanSec <= 0 {
+		return 0
+	}
+	return float64(s.OutputTokens) / s.MakespanSec
+}
+
+// classQueue is one per-class admission queue.
+type classQueue struct {
+	class workload.Class
+	reqs  []Request
+}
+
+func (q *classQueue) deadline(maxWait float64) float64 {
+	return q.reqs[0].ArrivalSec + maxWait
+}
+
+// unstarted tracks jobs assigned to a pipeline that has not begun them, for
+// the backlog cap.
+type unstarted struct {
+	startSec float64
+	jobs     int
+}
+
+// Run drains a timestamped trace through the fleet: the full discrete-event
+// loop of arrivals, per-class queues, batch closure (full or timed out) and
+// immediate policy dispatch. Requests are processed in arrival order (ties
+// by ID); expired batch timeouts fire, in deadline order, before any later
+// arrival is admitted, and remaining queues flush at their deadlines after
+// the trace ends. The result is identical run to run.
+func Run(cfg Config, reqs []Request) (Summary, error) {
+	if err := cfg.Admission.validate(); err != nil {
+		return Summary{}, err
+	}
+	if len(reqs) == 0 {
+		return Summary{}, fmt.Errorf("cluster: empty trace")
+	}
+	d, err := newDispatcher(cfg.Model, cfg.Fleet, cfg.Policy)
+	if err != nil {
+		return Summary{}, err
+	}
+
+	sorted := make([]Request, len(reqs))
+	copy(sorted, reqs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].ArrivalSec != sorted[j].ArrivalSec {
+			return sorted[i].ArrivalSec < sorted[j].ArrivalSec
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	for _, r := range sorted {
+		if r.ArrivalSec < 0 || math.IsInf(r.ArrivalSec, 0) || math.IsNaN(r.ArrivalSec) {
+			return Summary{}, fmt.Errorf("cluster: arrival time %g for request %d is not finite and ≥ 0", r.ArrivalSec, r.ID)
+		}
+	}
+
+	// Prewarm the dominant shapes (every distinct class shape at the target
+	// batch size on every pipeline) concurrently; odd tail sizes simulate
+	// lazily on the event loop.
+	var shapes []prewarmShape
+	seenClass := map[workload.Class]bool{}
+	for _, r := range sorted {
+		if seenClass[r.Class] {
+			continue
+		}
+		seenClass[r.Class] = true
+		for p := range cfg.Fleet {
+			shapes = append(shapes, prewarmShape{p: p, c: r.Class, size: cfg.Admission.MaxBatch})
+		}
+	}
+	d.prewarm(shapes)
+
+	// Queues key on the full class shape, not just the name: a replayed
+	// trace may reuse one label for different request shapes, and merging
+	// those into one batch would simulate them at the wrong shape.
+	queues := map[workload.Class]*classQueue{}
+	var queued int
+	var pendingStarts []unstarted
+	var asgs []Assignment
+	var rejected []int
+
+	// closeQueue forms a batch from everything waiting in q, releases it at
+	// the given time, and dispatches it immediately.
+	closeQueue := func(q *classQueue, release float64) {
+		b := BatchJob{Class: q.class, ReleaseSec: release}
+		for _, r := range q.reqs {
+			b.JobIDs = append(b.JobIDs, r.ID)
+			b.Arrivals = append(b.Arrivals, r.ArrivalSec)
+		}
+		queued -= len(q.reqs)
+		q.reqs = nil
+		a := d.assign(b)
+		if a.Pipeline >= 0 {
+			pendingStarts = append(pendingStarts, unstarted{startSec: a.StartSec, jobs: len(b.JobIDs)})
+		}
+		asgs = append(asgs, a)
+	}
+
+	// fireExpired closes, in deadline order (ties by class shape), every
+	// queue whose timeout lands strictly before now. An arrival at exactly
+	// the deadline still joins its batch.
+	fireExpired := func(now float64) {
+		for {
+			var pick *classQueue
+			for _, key := range sortedQueueKeys(queues) {
+				q := queues[key]
+				if len(q.reqs) == 0 {
+					continue
+				}
+				if dl := q.deadline(cfg.Admission.MaxWaitSec); dl < now {
+					if pick == nil || dl < pick.deadline(cfg.Admission.MaxWaitSec) {
+						pick = q
+					}
+				}
+			}
+			if pick == nil {
+				return
+			}
+			closeQueue(pick, pick.deadline(cfg.Admission.MaxWaitSec))
+		}
+	}
+
+	backlogAt := func(now float64) int {
+		kept := pendingStarts[:0]
+		n := 0
+		for _, u := range pendingStarts {
+			if u.startSec > now {
+				kept = append(kept, u)
+				n += u.jobs
+			}
+		}
+		pendingStarts = kept
+		return n + queued
+	}
+
+	for _, r := range sorted {
+		fireExpired(r.ArrivalSec)
+		if cfg.Admission.MaxBacklog > 0 && backlogAt(r.ArrivalSec) >= cfg.Admission.MaxBacklog {
+			rejected = append(rejected, r.ID)
+			continue
+		}
+		q := queues[r.Class]
+		if q == nil {
+			q = &classQueue{class: r.Class}
+			queues[r.Class] = q
+		}
+		q.reqs = append(q.reqs, r)
+		queued++
+		if len(q.reqs) >= cfg.Admission.MaxBatch {
+			closeQueue(q, r.ArrivalSec)
+		}
+	}
+	// Trace exhausted: remaining partial batches flush when their timeouts
+	// fire, exactly as they would with no further arrivals.
+	fireExpired(math.Inf(1))
+
+	return summarize(cfg, len(reqs), asgs, rejected, sorted[0].ArrivalSec), nil
+}
+
+func sortedQueueKeys(qs map[workload.Class]*classQueue) []workload.Class {
+	keys := make([]workload.Class, 0, len(qs))
+	for k := range qs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		if keys[i].Input != keys[j].Input {
+			return keys[i].Input < keys[j].Input
+		}
+		return keys[i].Output < keys[j].Output
+	})
+	return keys
+}
+
+// summarize folds assignments into the Summary, attributing time, tokens,
+// cost and energy per pipeline and computing queueing-delay percentiles.
+// startSec is the trace's first arrival; the makespan measures from it.
+func summarize(cfg Config, requests int, asgs []Assignment, rejected []int, startSec float64) Summary {
+	s := Summary{
+		Policy:         cfg.Policy,
+		Requests:       requests,
+		RejectedJobs:   len(rejected),
+		RejectedJobIDs: rejected,
+		PerClassSec:    map[string]float64{},
+		Pipelines:      make([]PipelineStats, len(cfg.Fleet)),
+		Assignments:    asgs,
+	}
+	for i, p := range cfg.Fleet {
+		s.Pipelines[i].Name = p.Name
+	}
+	var delays []float64
+	for _, a := range asgs {
+		s.Batches++
+		n := len(a.Batch.JobIDs)
+		if a.Pipeline < 0 {
+			s.FailedBatches++
+			s.FailedJobs += n
+			s.FailedJobIDs = append(s.FailedJobIDs, a.Batch.JobIDs...)
+			continue
+		}
+		ps := &s.Pipelines[a.Pipeline]
+		ps.Batches++
+		ps.Jobs += n
+		sec := a.ExecSec()
+		ps.BusySec += sec
+		toks := int64(n) * int64(a.Batch.Class.Output)
+		ps.OutputTokens += toks
+		s.OutputTokens += toks
+		s.PerClassSec[a.Batch.Class.Name] += sec
+		p := cfg.Fleet[a.Pipeline]
+		ps.CostUSD += p.USDPerHour / 3600 * sec
+		if p.Energy != nil {
+			eb, err := energy.PerToken(p.Energy.Testbed, a.Report, p.Energy.Model)
+			if err != nil {
+				if ps.EnergyErr == "" {
+					ps.EnergyErr = err.Error()
+				}
+			} else {
+				ps.EnergyJ += eb.Total() * float64(toks)
+			}
+		}
+		if fin := a.FinishSec - startSec; fin > s.MakespanSec {
+			s.MakespanSec = fin
+		}
+		for i := range a.Batch.JobIDs {
+			arr := a.Batch.ReleaseSec
+			if a.Batch.Arrivals != nil {
+				arr = a.Batch.Arrivals[i]
+			}
+			delays = append(delays, a.StartSec-arr)
+		}
+	}
+	s.Admitted = s.Requests - s.RejectedJobs
+	s.Completed = s.Admitted - s.FailedJobs
+	for i := range s.Pipelines {
+		ps := &s.Pipelines[i]
+		if s.MakespanSec > 0 {
+			ps.Utilization = ps.BusySec / s.MakespanSec
+		}
+		s.TotalCostUSD += ps.CostUSD
+		s.TotalEnergyJ += ps.EnergyJ
+	}
+	s.DelayMeanSec = stats.Mean(delays)
+	s.DelayP50Sec = stats.Percentile(delays, 50)
+	s.DelayP95Sec = stats.Percentile(delays, 95)
+	s.DelayP99Sec = stats.Percentile(delays, 99)
+	return s
+}

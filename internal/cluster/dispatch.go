@@ -1,0 +1,347 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// RunFunc simulates one batched request on a pipeline's engine. It must be
+// a pure function of the request (engine.Engine.Run qualifies): report
+// prewarming calls it from several goroutines.
+type RunFunc func(pipeline.Request) pipeline.Report
+
+// EnergyConfig selects the Fig. 17(a) power integration for one pipeline's
+// attribution: the testbed supplies component powers, Model the storage
+// kind/device count/GPU count.
+type EnergyConfig struct {
+	Testbed device.Testbed
+	Model   energy.Config
+}
+
+// Pipeline is one member of a (possibly heterogeneous) fleet: an engine
+// bound to a hardware point, plus the cost and energy metadata the
+// dispatcher attributes work with.
+type Pipeline struct {
+	// Name labels the pipeline in summaries and assignments.
+	Name string
+	// Run evaluates one batch on the pipeline's engine.
+	Run RunFunc
+	// USDPerHour is the amortized hardware rate charged while the pipeline
+	// executes batches; cheapest-feasible dispatch minimizes it × exec time.
+	// Zero-cost pipelines make cheapest-feasible fall back to least-loaded
+	// order through its tie-break.
+	USDPerHour float64
+	// Energy enables per-pipeline energy attribution (nil = skip).
+	Energy *EnergyConfig
+	// EngineID groups pipelines that share one engine (same Run behavior):
+	// report simulations memoize across all pipelines with the same
+	// non-empty EngineID, so N identical hosts simulate each batch shape
+	// once, not N times. Empty means a private memo for this fleet member.
+	EngineID string
+}
+
+// Policy selects how a released batch picks a pipeline.
+type Policy string
+
+// Dispatch policies. All consider only pipelines whose engine can place the
+// batch (no OOM); a batch no pipeline can place fails as a unit.
+const (
+	// LeastLoaded assigns to the earliest-available pipeline (ties: lowest
+	// index) — the classic list schedule, and exactly the homogeneous
+	// multi-pipeline semantics of serving.Evaluate.
+	LeastLoaded Policy = "least-loaded"
+	// CheapestFeasible assigns to the pipeline with the lowest dollar cost
+	// for the batch (amortized $/h × execution seconds; ties: earliest
+	// available, then lowest index) — the VM-selection-style policy that
+	// routes each batch to the cheapest adequate backend.
+	CheapestFeasible Policy = "cheapest-feasible"
+	// FastestETA assigns to the pipeline that finishes the batch earliest
+	// (max(release, free) + execution; ties: lowest index), trading cost for
+	// completion time.
+	FastestETA Policy = "fastest-eta"
+)
+
+// Policies returns the dispatch policies in documentation order.
+func Policies() []Policy { return []Policy{LeastLoaded, CheapestFeasible, FastestETA} }
+
+func (p Policy) valid() bool {
+	switch p {
+	case LeastLoaded, CheapestFeasible, FastestETA:
+		return true
+	}
+	return false
+}
+
+// BatchJob is one formed batch released to the dispatcher at ReleaseSec.
+// Arrivals carries the member requests' arrival times for queueing-delay
+// accounting; nil means every member arrived at ReleaseSec.
+type BatchJob struct {
+	Class      workload.Class
+	JobIDs     []int
+	Arrivals   []float64
+	ReleaseSec float64
+}
+
+// Assignment is the dispatch outcome for one batch.
+type Assignment struct {
+	Batch BatchJob
+	// Pipeline is the fleet index the batch ran on; -1 when no pipeline
+	// could place it (the batch failed, Reason says why).
+	Pipeline int
+	Reason   string
+	// StartSec/FinishSec bound the batch's execution on the simulated clock;
+	// StartSec − ReleaseSec is time spent waiting for the pipeline.
+	StartSec  float64
+	FinishSec float64
+	// Report is the engine's report at the batch's full size (the effective
+	// batch may be smaller; extra passes including an exact tail pass are
+	// already folded into FinishSec).
+	Report pipeline.Report
+}
+
+// ExecSec returns the batch's execution time.
+func (a Assignment) ExecSec() float64 { return a.FinishSec - a.StartSec }
+
+// repKey memoizes engine reports per (engine, request shape, batch size):
+// engines are pure, so identical batch shapes share one simulation — across
+// pipelines too, when they declare a common EngineID.
+type repKey struct {
+	eng     string
+	in, out int
+	size    int
+}
+
+// dispatcher is the scheduling core shared by Run (trace-driven admission)
+// and Dispatch (pre-formed plans, serving.Evaluate's path). It is
+// single-goroutine after prewarming, which keeps assignment deterministic.
+type dispatcher struct {
+	m      model.Config
+	fleet  []Pipeline
+	policy Policy
+	freeAt []float64
+	engKey []string // memo group per fleet index
+	memo   map[repKey]pipeline.Report
+}
+
+func newDispatcher(m model.Config, fleet []Pipeline, policy Policy) (*dispatcher, error) {
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("cluster: empty fleet")
+	}
+	for i, p := range fleet {
+		if p.Run == nil {
+			return nil, fmt.Errorf("cluster: pipeline %d (%s) has no engine", i, p.Name)
+		}
+		if p.USDPerHour < 0 {
+			return nil, fmt.Errorf("cluster: pipeline %d (%s) has negative rate %g $/h", i, p.Name, p.USDPerHour)
+		}
+	}
+	if !policy.valid() {
+		return nil, fmt.Errorf("cluster: unknown dispatch policy %q (known: %v)", policy, Policies())
+	}
+	engKey := make([]string, len(fleet))
+	for i, p := range fleet {
+		if p.EngineID != "" {
+			engKey[i] = p.EngineID
+		} else {
+			engKey[i] = fmt.Sprintf("#%d", i)
+		}
+	}
+	return &dispatcher{
+		m:      m,
+		fleet:  fleet,
+		policy: policy,
+		freeAt: make([]float64, len(fleet)),
+		engKey: engKey,
+		memo:   map[repKey]pipeline.Report{},
+	}, nil
+}
+
+// shapeKey is the memo key for one batch shape on pipeline p's engine.
+func (d *dispatcher) shapeKey(p int, c workload.Class, size int) repKey {
+	return repKey{eng: d.engKey[p], in: c.Input, out: c.Output, size: size}
+}
+
+func (d *dispatcher) report(p int, c workload.Class, size int) pipeline.Report {
+	k := d.shapeKey(p, c, size)
+	if rep, ok := d.memo[k]; ok {
+		return rep
+	}
+	rep := d.fleet[p].Run(pipeline.Request{Model: d.m, Batch: size, Context: c.Input, OutputLen: c.Output})
+	d.memo[k] = rep
+	return rep
+}
+
+// prewarmShape names one (pipeline, class, size) combination to simulate.
+type prewarmShape struct {
+	p    int
+	c    workload.Class
+	size int
+}
+
+// prewarm simulates the given combinations on a worker pool before the
+// sequential event loop starts; the loop then runs entirely on memoized
+// reports for those shapes. Shapes deduplicate by memo key, so pipelines
+// sharing an EngineID simulate each shape once. Results are identical with
+// or without prewarming — it only moves pure computations off the loop.
+func (d *dispatcher) prewarm(shapes []prewarmShape) {
+	var todo []prewarmShape
+	var todoKeys []repKey
+	seen := map[repKey]bool{}
+	for _, s := range shapes {
+		if s.size < 1 {
+			continue
+		}
+		k := d.shapeKey(s.p, s.c, s.size)
+		if _, ok := d.memo[k]; ok || seen[k] {
+			continue
+		}
+		seen[k] = true
+		todo = append(todo, s)
+		todoKeys = append(todoKeys, k)
+	}
+	if len(todo) == 0 {
+		return
+	}
+	reps := make([]pipeline.Report, len(todo))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				s := todo[i]
+				reps[i] = d.fleet[s.p].Run(pipeline.Request{
+					Model: d.m, Batch: s.size, Context: s.c.Input, OutputLen: s.c.Output,
+				})
+			}
+		}()
+	}
+	for i := range todo {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+	for i, k := range todoKeys {
+		d.memo[k] = reps[i]
+	}
+}
+
+// execSec returns the execution time for n jobs given the engine's
+// (possibly shrunken) report: ⌊n/batch⌋ full passes at the effective batch,
+// plus the remainder as a smaller tail pass simulated at its exact size —
+// not rounded up to a full-size pass (the ROADMAP's per-pass batch-shrink
+// item). A tail the engine shrinks again is charged integral passes at the
+// tail report's effective batch; an infeasible tail report (which a
+// monotone engine never produces) falls back to one full-size pass.
+func (d *dispatcher) execSec(p int, c workload.Class, n int, rep pipeline.Report) float64 {
+	full := n / rep.Batch
+	tail := n % rep.Batch
+	sec := float64(full) * rep.TotalSec(c.Output)
+	if tail > 0 {
+		tr := d.report(p, c, tail)
+		if tr.OOM || tr.Batch < 1 {
+			sec += rep.TotalSec(c.Output)
+		} else {
+			passes := (tail + tr.Batch - 1) / tr.Batch
+			sec += float64(passes) * tr.TotalSec(c.Output)
+		}
+	}
+	return sec
+}
+
+// assign picks a pipeline for the batch per the policy, advances that
+// pipeline's clock, and returns the assignment. Failed batches leave every
+// clock untouched.
+func (d *dispatcher) assign(b BatchJob) Assignment {
+	n := len(b.JobIDs)
+	best := -1
+	var bestRep pipeline.Report
+	var bestSec, bestKey, bestTie float64
+	var firstReason string
+	for p := range d.fleet {
+		rep := d.report(p, b.Class, n)
+		if rep.OOM || rep.Batch < 1 {
+			if firstReason == "" {
+				firstReason = rep.Reason
+			}
+			continue
+		}
+		sec := d.execSec(p, b.Class, n, rep)
+		start := b.ReleaseSec
+		if d.freeAt[p] > start {
+			start = d.freeAt[p]
+		}
+		var key, tie float64
+		switch d.policy {
+		case LeastLoaded:
+			key, tie = d.freeAt[p], 0
+		case CheapestFeasible:
+			key, tie = d.fleet[p].USDPerHour/3600*sec, d.freeAt[p]
+		case FastestETA:
+			key, tie = start+sec, 0
+		}
+		if best < 0 || key < bestKey || (key == bestKey && tie < bestTie) {
+			best, bestRep, bestSec, bestKey, bestTie = p, rep, sec, key, tie
+		}
+	}
+	if best < 0 {
+		if firstReason == "" {
+			firstReason = "no feasible pipeline"
+		}
+		return Assignment{Batch: b, Pipeline: -1, Reason: firstReason}
+	}
+	start := b.ReleaseSec
+	if d.freeAt[best] > start {
+		start = d.freeAt[best]
+	}
+	d.freeAt[best] = start + bestSec
+	return Assignment{
+		Batch: b, Pipeline: best,
+		StartSec: start, FinishSec: start + bestSec,
+		Report: bestRep,
+	}
+}
+
+// Dispatch assigns pre-formed batches to fleet pipelines in slice order
+// under the policy and returns one assignment per batch. It is the
+// scheduling core behind both the trace-driven cluster (Run forms batches
+// via admission first) and serving.Evaluate (whose offline plan is the
+// special case of identical pipelines and all-zero release times).
+func Dispatch(m model.Config, batches []BatchJob, fleet []Pipeline, policy Policy) ([]Assignment, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("cluster: empty plan")
+	}
+	d, err := newDispatcher(m, fleet, policy)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range batches {
+		if len(b.JobIDs) == 0 {
+			return nil, fmt.Errorf("cluster: batch %d is empty", i)
+		}
+	}
+	var shapes []prewarmShape
+	for _, b := range batches {
+		for p := range fleet {
+			shapes = append(shapes, prewarmShape{p: p, c: b.Class, size: len(b.JobIDs)})
+		}
+	}
+	d.prewarm(shapes)
+	out := make([]Assignment, len(batches))
+	for i, b := range batches {
+		out[i] = d.assign(b)
+	}
+	return out, nil
+}

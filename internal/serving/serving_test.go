@@ -126,8 +126,9 @@ func TestEvaluateOOM(t *testing.T) {
 }
 
 // Integer-pass accounting: a batch of 3 an engine can only fit 2 of runs
-// ceil(3/2) = 2 full passes, each paying prefill again — not 1.5 fractional
-// passes.
+// one full pass plus a batch-1 tail pass, each paying prefill again — never
+// 1.5 fractional passes. This engine's timing is batch-independent, so both
+// passes cost the same; the tail is still a separate simulated pass.
 func TestEvaluateIntegerPasses(t *testing.T) {
 	jobs := jobsFromTrace([]workload.Class{workload.Short, workload.Short, workload.Short})
 	batches, _ := PackByClass(jobs, 3)
@@ -142,6 +143,30 @@ func TestEvaluateIntegerPasses(t *testing.T) {
 	// would give 163.5 s and undercharge the second prefill.
 	if want := 2 * 109.0; s.MakespanSec != want {
 		t.Errorf("makespan %v, want %v (integer passes with per-pass prefill)", s.MakespanSec, want)
+	}
+}
+
+// Exact tail-pass accounting (ROADMAP item): when step time scales with the
+// running batch, the partial final pass is charged at its own smaller
+// shape, not as a full-size pass.
+func TestEvaluateExactTailPass(t *testing.T) {
+	jobs := jobsFromTrace([]workload.Class{workload.Short, workload.Short, workload.Short})
+	batches, _ := PackByClass(jobs, 3)
+	shrink := func(req pipeline.Request) pipeline.Report {
+		b := req.Batch
+		if b > 2 {
+			b = 2
+		}
+		return pipeline.Report{Batch: b, StepSec: float64(b), PrefillSec: 10}
+	}
+	s, err := Evaluate(model.OPT30B, batches, shrink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full pass at batch 2: 10 + 99×2 = 208 s; tail pass at batch 1:
+	// 10 + 99×1 = 109 s. Ceil accounting would charge 2×208 = 416 s.
+	if want := 208.0 + 109; s.MakespanSec != want {
+		t.Errorf("makespan %v, want %v (full pass + exact tail pass)", s.MakespanSec, want)
 	}
 }
 
@@ -203,7 +228,8 @@ func TestEvaluatePipelinesDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Reference list schedule on the serial per-batch durations.
+	// Reference list schedule on the serial per-batch durations (the fake
+	// engine never shrinks, so each batch is one pass).
 	const P = 3
 	var load [P]float64
 	for _, b := range batches {
@@ -214,7 +240,7 @@ func TestEvaluatePipelinesDeterministic(t *testing.T) {
 				p = q
 			}
 		}
-		load[p] += batchSec(b, rep)
+		load[p] += rep.TotalSec(b.Class.Output)
 	}
 	want := 0.0
 	for _, l := range load {

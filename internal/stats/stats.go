@@ -6,6 +6,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"sort"
 )
 
 // ErrMismatch is returned when paired-sample inputs differ in length.
@@ -74,6 +75,29 @@ func GeoMean(xs []float64) float64 {
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs by the
+// nearest-rank method on a sorted copy: the smallest value with at least
+// p% of the sample at or below it. Returns 0 for an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // MinMax returns the smallest and largest values in xs.

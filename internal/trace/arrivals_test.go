@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestReadArrivalsCSVTwoColumn(t *testing.T) {
+	in := "arrival_sec,class\n0.5,Short\n1.25,Long\n0.75,Medium\n"
+	reqs, err := ReadArrivalsCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests, want 3", len(reqs))
+	}
+	// Sorted by arrival; IDs keep file order.
+	if reqs[0].Class.Name != "Short" || reqs[1].Class.Name != "Medium" || reqs[2].Class.Name != "Long" {
+		t.Errorf("order %s/%s/%s", reqs[0].Class.Name, reqs[1].Class.Name, reqs[2].Class.Name)
+	}
+	if reqs[1].ID != 2 || reqs[1].ArrivalSec != 0.75 {
+		t.Errorf("medium request %+v, want ID 2 at 0.75s", reqs[1])
+	}
+	if reqs[0].Class.Input != workload.Short.Input {
+		t.Errorf("class not resolved to §6.6 shape: %+v", reqs[0].Class)
+	}
+}
+
+func TestReadArrivalsCSVFourColumnNoHeader(t *testing.T) {
+	in := "0,custom,4096,128\n2.5,custom,4096,128\n"
+	reqs, err := ReadArrivalsCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("got %d requests, want 2", len(reqs))
+	}
+	if reqs[0].Class.Input != 4096 || reqs[0].Class.Output != 128 || reqs[0].Class.Name != "custom" {
+		t.Errorf("custom shape %+v", reqs[0].Class)
+	}
+}
+
+func TestReadArrivalsCSVErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"unknown class":   "0.5,Gigantic\n",
+		"bad arrival":     "0.5,Short\nx,Short\n",
+		"bad shape":       "0.5,c,0,10\n",
+		"field count":     "0.5,Short,256\n",
+		"empty":           "",
+		"header only":     "arrival_sec,class\n",
+		"negative":        "-1,Short\n",
+		"non-numeric row": "arrival_sec,class\noops,Short\n",
+	} {
+		if _, err := ReadArrivalsCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestArrivalsCSVRoundTrip(t *testing.T) {
+	g, err := workload.NewGenerator(5, workload.AzureLikeMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := workload.PoissonArrivals(5, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := g.TimedTrace(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteArrivalsCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArrivalsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip %d → %d requests", len(orig), len(back))
+	}
+	for i := range orig {
+		if back[i].ArrivalSec != orig[i].ArrivalSec || back[i].Class != orig[i].Class {
+			t.Fatalf("request %d changed in round trip: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+	if err := WriteArrivalsCSV(&buf, nil); err == nil {
+		t.Error("empty write accepted")
+	}
+}
+
+// Only the exact header WriteArrivalsCSV emits may be skipped: a headerless
+// trace whose first record has a corrupt timestamp must error, not silently
+// lose a request.
+func TestReadArrivalsCSVCorruptFirstRecord(t *testing.T) {
+	if _, err := ReadArrivalsCSV(strings.NewReader("1.2.3,Short\n4,Short\n")); err == nil {
+		t.Error("corrupt first record silently skipped as header")
+	}
+	if _, err := ReadArrivalsCSV(strings.NewReader("NaN,Short\n")); err == nil {
+		t.Error("NaN arrival accepted")
+	}
+}

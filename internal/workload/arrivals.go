@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TimedRequest is one request with an arrival timestamp — the unit of work
+// the cluster admission layer operates on. Offline backlogs are the special
+// case where every arrival is 0.
+type TimedRequest struct {
+	ID         int
+	Class      Class
+	ArrivalSec float64
+}
+
+// PoissonArrivals returns n arrival timestamps of a homogeneous Poisson
+// process with the given mean rate (requests/second): exponential
+// inter-arrival gaps drawn from a seeded source, so the same seed always
+// yields the same trace. The first arrival is the first gap, not 0.
+func PoissonArrivals(seed int64, ratePerSec float64, n int) ([]float64, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate must be positive, got %g", ratePerSec)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("workload: arrival count must be ≥ 1, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / ratePerSec
+		out[i] = t
+	}
+	return out, nil
+}
+
+// UniformArrivals returns n arrival timestamps at a constant rate
+// (requests/second): deterministic 1/rate spacing starting at 1/rate. It is
+// the zero-variance reference process for the Poisson generator.
+func UniformArrivals(ratePerSec float64, n int) ([]float64, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate must be positive, got %g", ratePerSec)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("workload: arrival count must be ≥ 1, got %d", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i+1) / ratePerSec
+	}
+	return out, nil
+}
+
+// Timed pairs a class trace with arrival timestamps (replaying a recorded
+// trace, or attaching a generated arrival process to a generated mix).
+// Timestamps must be non-negative; the result is sorted by arrival with IDs
+// assigned in the original trace order, so replays are deterministic.
+func Timed(classes []Class, arrivals []float64) ([]TimedRequest, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if len(classes) != len(arrivals) {
+		return nil, fmt.Errorf("workload: %d classes but %d arrival times", len(classes), len(arrivals))
+	}
+	out := make([]TimedRequest, len(classes))
+	for i, c := range classes {
+		if arrivals[i] < 0 || math.IsInf(arrivals[i], 0) || math.IsNaN(arrivals[i]) {
+			return nil, fmt.Errorf("workload: arrival time %g for request %d is not finite and ≥ 0", arrivals[i], i)
+		}
+		out[i] = TimedRequest{ID: i, Class: c, ArrivalSec: arrivals[i]}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ArrivalSec < out[j].ArrivalSec })
+	return out, nil
+}
+
+// TimedTrace draws len(arrivals) request classes from the generator's mix
+// and attaches the arrival timestamps — the one-call path from (seed, mix,
+// arrival process) to a cluster-ready trace.
+func (g *Generator) TimedTrace(arrivals []float64) ([]TimedRequest, error) {
+	return Timed(g.Trace(len(arrivals)), arrivals)
+}
+
+// ClassByName resolves one of the §6.6 request classes ("Short", "Medium",
+// "Long") for trace parsers.
+func ClassByName(name string) (Class, bool) {
+	for _, c := range Classes() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Class{}, false
+}
