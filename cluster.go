@@ -3,6 +3,7 @@ package hilos
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/baseline"
@@ -26,6 +27,9 @@ type (
 	ClusterSummary = cluster.Summary
 	// ClusterPipelineStats attributes work to one fleet member.
 	ClusterPipelineStats = cluster.PipelineStats
+	// ClusterPriorityStats attributes scheduling outcomes (delay
+	// percentiles, preempted jobs, deadline misses) to one priority class.
+	ClusterPriorityStats = cluster.PriorityStats
 	// DispatchPolicy selects how batches pick pipelines.
 	DispatchPolicy = cluster.Policy
 )
@@ -63,6 +67,9 @@ type clusterConfig struct {
 	maxBatch   int
 	maxWaitSec float64
 	maxBacklog int
+	preemption bool
+	continuous bool
+	priorities []PriorityClass
 }
 
 type fleetSpec struct {
@@ -122,6 +129,75 @@ func WithMaxBacklog(n int) ClusterOption {
 			return errorf("max backlog must be ≥ 0, got %d", n)
 		}
 		c.maxBacklog = n
+		return nil
+	}
+}
+
+// PriorityClass tags every request of one workload class with scheduling
+// urgency: Priority ranks it against other classes (higher is served first;
+// 0 is the offline default) and DeadlineSec is its queueing budget — the
+// request should start within DeadlineSec of arrival (0 = no deadline).
+type PriorityClass struct {
+	// Class names the workload class the rule applies to (e.g. "Short").
+	Class string
+	// Priority is the scheduling rank (≥ 0; higher is more urgent).
+	Priority int
+	// DeadlineSec is the start-deadline budget in seconds (≥ 0; 0 = none).
+	DeadlineSec float64
+}
+
+// WithPriorityClasses stamps matching requests of the trace with priority
+// and deadline metadata before scheduling — the declarative way to split
+// one trace into online and offline tiers (e.g. Short as priority 1 with a
+// 15-second deadline, everything else the offline default). Rules override
+// any metadata the requests already carry.
+func WithPriorityClasses(rules ...PriorityClass) ClusterOption {
+	return func(c *clusterConfig) error {
+		if len(rules) == 0 {
+			return errorf("priority classes need at least one rule")
+		}
+		for _, r := range rules {
+			if r.Class == "" {
+				return errorf("priority class rule needs a class name")
+			}
+			if r.Priority < 0 {
+				return errorf("priority for class %s must be ≥ 0, got %d", r.Class, r.Priority)
+			}
+			if r.DeadlineSec < 0 {
+				return errorf("deadline for class %s must be ≥ 0, got %g", r.Class, r.DeadlineSec)
+			}
+		}
+		c.priorities = append(c.priorities, rules...)
+		return nil
+	}
+}
+
+// WithPreemption enables deadline-aware preemption: a request's deadline
+// forces its partial batch out when it expires, and a batch that would
+// still miss its deadline evicts strictly-lower-priority unstarted batches
+// from the pipeline where it can start soonest. Evicted work is re-enqueued
+// and re-run, never dropped, and the backlog cap stops rejecting arrivals
+// that outrank the queued work. Running batches always complete: preemption
+// acts only at batch boundaries. Combined with WithContinuousBatching
+// there is never an unstarted batch to evict — work waits in its queue
+// until a pipeline is free — so preemption reduces to deadline-triggered
+// dispatch eligibility and the priority ordering of the queues, and the
+// summary's preemption counters stay zero.
+func WithPreemption() ClusterOption {
+	return func(c *clusterConfig) error {
+		c.preemption = true
+		return nil
+	}
+}
+
+// WithContinuousBatching re-forms batches at dispatch time: requests wait
+// in per-priority queues until a pipeline is actually free, and the freed
+// pipeline re-packs up to the admission batch size from the oldest waiting
+// work — continuous batching, instead of shipping the batch that happened
+// to close at admission.
+func WithContinuousBatching() ClusterOption {
+	return func(c *clusterConfig) error {
+		c.continuous = true
 		return nil
 	}
 }
@@ -191,14 +267,32 @@ func Cluster(m Model, reqs []TimedRequest, opts ...ClusterOption) (ClusterSummar
 		}
 	}
 
+	if len(cfg.priorities) > 0 {
+		stamped := make([]TimedRequest, len(reqs))
+		copy(stamped, reqs)
+		rules := map[string]PriorityClass{}
+		for _, r := range cfg.priorities {
+			rules[r.Class] = r
+		}
+		for i := range stamped {
+			if r, ok := rules[stamped[i].Class.Name]; ok {
+				stamped[i].Priority = r.Priority
+				stamped[i].DeadlineSec = r.DeadlineSec
+			}
+		}
+		reqs = stamped
+	}
+
 	return cluster.Run(cluster.Config{
 		Model:  m,
 		Fleet:  fleet,
 		Policy: cfg.policy,
 		Admission: cluster.Admission{
-			MaxBatch:   cfg.maxBatch,
-			MaxWaitSec: cfg.maxWaitSec,
-			MaxBacklog: cfg.maxBacklog,
+			MaxBatch:           cfg.maxBatch,
+			MaxWaitSec:         cfg.maxWaitSec,
+			MaxBacklog:         cfg.maxBacklog,
+			Preemption:         cfg.preemption,
+			ContinuousBatching: cfg.continuous,
 		},
 	}, reqs)
 }
@@ -229,19 +323,102 @@ func pipelineEconomics(sys System, devices int, tb Testbed) (float64, *cluster.E
 	return cs.PriceUSD(tb) / amortHours, &cluster.EnergyConfig{Testbed: tb, Model: ec}
 }
 
+// ArrivalProcess names a built-in arrival-time generator.
+type ArrivalProcess string
+
+// The built-in arrival processes.
+const (
+	// ArrivalsPoisson is a homogeneous Poisson process: exponential
+	// inter-arrival gaps at the mean rate.
+	ArrivalsPoisson ArrivalProcess = "poisson"
+	// ArrivalsUniform is deterministic 1/rate spacing — the zero-variance
+	// reference.
+	ArrivalsUniform ArrivalProcess = "uniform"
+	// ArrivalsBursty is a two-state MMPP: 80% of the time a quiet floor at
+	// rate/4, 20% in bursts at 4×rate, time-averaging to the requested
+	// rate — the day-night modulation of the ROADMAP's workload-realism
+	// item.
+	ArrivalsBursty ArrivalProcess = "bursty"
+)
+
+// ArrivalProcesses lists the built-in processes in documentation order.
+func ArrivalProcesses() []ArrivalProcess {
+	return []ArrivalProcess{ArrivalsPoisson, ArrivalsUniform, ArrivalsBursty}
+}
+
 // NewTimedWorkloadTrace draws n requests from the Azure-like offline mix
 // and stamps them with Poisson arrivals at ratePerSec — deterministic per
 // seed. The one-call path from nothing to a Cluster-ready trace.
 func NewTimedWorkloadTrace(seed int64, n int, ratePerSec float64) ([]TimedRequest, error) {
+	return NewWorkloadTraceWithArrivals(seed, n, ratePerSec, ArrivalsPoisson)
+}
+
+// NewWorkloadTraceWithArrivals draws n requests from the Azure-like offline
+// mix and stamps them with arrivals from the selected process at the given
+// mean rate — deterministic per seed.
+func NewWorkloadTraceWithArrivals(seed int64, n int, ratePerSec float64, p ArrivalProcess) ([]TimedRequest, error) {
 	g, err := workload.NewGenerator(seed, workload.AzureLikeMix())
 	if err != nil {
 		return nil, err
 	}
-	arrivals, err := workload.PoissonArrivals(seed, ratePerSec, n)
+	arrivals, err := arrivalTimes(seed, n, ratePerSec, p)
 	if err != nil {
 		return nil, err
 	}
 	return g.TimedTrace(arrivals)
+}
+
+func arrivalTimes(seed int64, n int, ratePerSec float64, p ArrivalProcess) ([]float64, error) {
+	switch p {
+	case ArrivalsPoisson:
+		return workload.PoissonArrivals(seed, ratePerSec, n)
+	case ArrivalsUniform:
+		return workload.UniformArrivals(ratePerSec, n)
+	case ArrivalsBursty:
+		return workload.BurstyArrivals(seed, ratePerSec, n)
+	}
+	return nil, errorf("unknown arrival process %q (known: %v)", p, ArrivalProcesses())
+}
+
+// NewOnlineOfflineTrace builds the co-scheduling workload of the
+// online/offline studies: nOffline offline requests (the Azure-like mix's
+// Medium/Long tail, priority 0, no deadline) arriving as a Poisson process
+// at offlineRate, interleaved with nOnline latency-sensitive Short requests
+// (priority 1, the given start-deadline budget) at onlineRate. IDs are
+// reassigned in arrival order; the result is deterministic per seed.
+func NewOnlineOfflineTrace(seed int64, nOnline, nOffline int, onlineRate, offlineRate, deadlineSec float64) ([]TimedRequest, error) {
+	if deadlineSec < 0 {
+		return nil, errorf("online deadline must be ≥ 0, got %g", deadlineSec)
+	}
+	offMix := []workload.Mix{{Class: workload.Medium, Weight: 0.75}, {Class: workload.Long, Weight: 0.25}}
+	g, err := workload.NewGenerator(seed, offMix)
+	if err != nil {
+		return nil, err
+	}
+	offArr, err := workload.PoissonArrivals(seed, offlineRate, nOffline)
+	if err != nil {
+		return nil, err
+	}
+	offline, err := g.TimedTrace(offArr)
+	if err != nil {
+		return nil, err
+	}
+	onArr, err := workload.PoissonArrivals(seed+1, onlineRate, nOnline)
+	if err != nil {
+		return nil, err
+	}
+	merged := make([]TimedRequest, 0, nOnline+nOffline)
+	merged = append(merged, offline...)
+	for _, t := range onArr {
+		merged = append(merged, TimedRequest{
+			Class: workload.Short, ArrivalSec: t, Priority: 1, DeadlineSec: deadlineSec,
+		})
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].ArrivalSec < merged[j].ArrivalSec })
+	for i := range merged {
+		merged[i].ID = i
+	}
+	return merged, nil
 }
 
 // ReadArrivalTrace parses an arrival-trace CSV (arrival_sec,class or

@@ -1,16 +1,20 @@
-// Command hilos-cluster evaluates trace-driven admission and cost-aware
-// dispatch over a heterogeneous fleet of simulated inference systems: the
+// Command hilos-cluster evaluates event-driven scheduling over a
+// heterogeneous fleet of simulated inference systems: the
 // production-deployment question the paper's offline-inference framing
-// leads to — given mixed hardware tiers, which requests should run where?
+// leads to — given mixed hardware tiers and mixed online/offline traffic,
+// which requests should run where, and when?
 //
 // Usage:
 //
 //	hilos-cluster                                # default fleet, all policies
 //	hilos-cluster -fleet hilos:2x16,flex-dram:1,instinfer:1x16
 //	hilos-cluster -n 96 -rate 1.5 -seed 7        # Poisson arrivals
+//	hilos-cluster -arrivals bursty               # two-state MMPP arrivals
 //	hilos-cluster -trace reqs.csv                # replay a recorded trace
 //	hilos-cluster -policy cheapest-feasible      # one policy only
 //	hilos-cluster -sweep 0.5,1,2,4               # arrival-rate sweep
+//	hilos-cluster -priority Short=1@15 -preempt  # online tier w/ deadline
+//	hilos-cluster -continuous                    # re-form batches at dispatch
 //	hilos-cluster -list-systems
 //
 // Fleet syntax: comma-separated system[:count[xdevices]] terms — e.g.
@@ -21,6 +25,13 @@
 // released once its oldest request has waited -wait seconds. -backlog caps
 // admitted-but-unstarted requests (0 = unbounded); arrivals beyond the cap
 // are rejected and reported.
+//
+// Scheduling: -priority tags workload classes with an online tier
+// (class=priority[@deadlineSec], comma-separated); -preempt enables
+// deadline-aware preemption (deadline-expired batches dispatch immediately
+// and evict unstarted lower-priority batches, which re-enqueue); -continuous
+// re-forms batches at dispatch time so a freed pipeline re-packs the oldest
+// waiting work.
 //
 // Dispatch policies (-policy, default "all"):
 //
@@ -44,12 +55,16 @@ func main() {
 	modelName := flag.String("model", "OPT-30B", "Table 2 model name")
 	fleetSpec := flag.String("fleet", "hilos:2x8,flex-dram:1", "fleet composition: system[:count[xdevices]],...")
 	n := flag.Int("n", 64, "number of generated requests (ignored with -trace)")
-	rate := flag.Float64("rate", 1.0, "Poisson arrival rate, requests/second (ignored with -trace)")
+	rate := flag.Float64("rate", 1.0, "mean arrival rate, requests/second (ignored with -trace)")
+	arrivals := flag.String("arrivals", "poisson", "arrival process: poisson, uniform or bursty (ignored with -trace)")
 	seed := flag.Int64("seed", 7, "workload seed (ignored with -trace)")
 	traceFile := flag.String("trace", "", "replay an arrival-trace CSV instead of generating one")
 	batch := flag.Int("batch", 8, "admission: target batch size per class")
 	wait := flag.Float64("wait", 30, "admission: max seconds the oldest queued request waits")
 	backlog := flag.Int("backlog", 0, "admission: reject arrivals beyond this unstarted backlog (0 = unbounded)")
+	priority := flag.String("priority", "", "priority classes: class=priority[@deadlineSec],... (e.g. Short=1@15)")
+	preempt := flag.Bool("preempt", false, "enable deadline-aware preemption of unstarted lower-priority batches")
+	continuous := flag.Bool("continuous", false, "re-form batches at dispatch time (continuous batching)")
 	policy := flag.String("policy", "all", "dispatch policy, or \"all\" to compare")
 	sweep := flag.String("sweep", "", "comma-separated arrival rates to sweep (e.g. 0.5,1,2)")
 	listSystems := flag.Bool("list-systems", false, "list registered engine systems and exit")
@@ -66,11 +81,12 @@ func main() {
 	check(err)
 	fleet, err := parseFleet(*fleetSpec)
 	check(err)
-
-	policies := hilos.DispatchPolicies()
-	if *policy != "all" {
-		policies = []hilos.DispatchPolicy{hilos.DispatchPolicy(*policy)}
-	}
+	policies, err := parsePolicies(*policy)
+	check(err)
+	process, err := parseArrivals(*arrivals)
+	check(err)
+	prioOpts, err := parsePriorities(*priority)
+	check(err)
 
 	rates := []float64{*rate}
 	if *sweep != "" {
@@ -86,19 +102,32 @@ func main() {
 	}
 
 	for _, r := range rates {
-		reqs, label, err := loadTrace(*traceFile, *seed, *n, r)
+		reqs, label, err := loadTrace(*traceFile, *seed, *n, r, process)
 		check(err)
 		fmt.Printf("== %s | model %s | fleet %s | batch %d wait %gs", label, m.Name, *fleetSpec, *batch, *wait)
 		if *backlog > 0 {
 			fmt.Printf(" backlog %d", *backlog)
 		}
+		if *preempt {
+			fmt.Print(" preempt")
+		}
+		if *continuous {
+			fmt.Print(" continuous")
+		}
 		fmt.Println(" ==")
 		for _, p := range policies {
-			opts := append(fleet,
+			opts := append(append([]hilos.ClusterOption{}, fleet...),
 				hilos.WithAdmission(*batch, *wait),
 				hilos.WithMaxBacklog(*backlog),
 				hilos.WithDispatchPolicy(p),
 			)
+			opts = append(opts, prioOpts...)
+			if *preempt {
+				opts = append(opts, hilos.WithPreemption())
+			}
+			if *continuous {
+				opts = append(opts, hilos.WithContinuousBatching())
+			}
 			s, err := hilos.Cluster(m, reqs, opts...)
 			check(err)
 			printSummary(s)
@@ -107,7 +136,8 @@ func main() {
 	}
 }
 
-// parseFleet turns "hilos:2x16,flex-dram:1" into fleet options.
+// parseFleet turns "hilos:2x16,flex-dram:1" into fleet options, rejecting
+// unregistered system names up front with the registry listing.
 func parseFleet(spec string) ([]hilos.ClusterOption, error) {
 	var opts []hilos.ClusterOption
 	for _, term := range strings.Split(spec, ",") {
@@ -116,6 +146,10 @@ func parseFleet(spec string) ([]hilos.ClusterOption, error) {
 			continue
 		}
 		sys, rest, _ := strings.Cut(term, ":")
+		if !knownSystem(hilos.System(sys)) {
+			return nil, fmt.Errorf("unknown system %q in fleet term %q (known: %s)",
+				sys, term, joinSystems())
+		}
 		count, devices := 1, 0
 		if rest != "" {
 			c, d, hasDev := strings.Cut(rest, "x")
@@ -137,7 +171,91 @@ func parseFleet(spec string) ([]hilos.ClusterOption, error) {
 	return opts, nil
 }
 
-func loadTrace(path string, seed int64, n int, rate float64) ([]hilos.TimedRequest, string, error) {
+func knownSystem(sys hilos.System) bool {
+	for _, s := range hilos.Systems() {
+		if s == sys {
+			return true
+		}
+	}
+	return false
+}
+
+func joinSystems() string {
+	var names []string
+	for _, s := range hilos.Systems() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
+}
+
+// parsePolicies resolves -policy against the registered dispatch policies.
+func parsePolicies(spec string) ([]hilos.DispatchPolicy, error) {
+	if spec == "all" {
+		return hilos.DispatchPolicies(), nil
+	}
+	for _, p := range hilos.DispatchPolicies() {
+		if p == hilos.DispatchPolicy(spec) {
+			return []hilos.DispatchPolicy{p}, nil
+		}
+	}
+	var names []string
+	for _, p := range hilos.DispatchPolicies() {
+		names = append(names, string(p))
+	}
+	return nil, fmt.Errorf("unknown dispatch policy %q (known: %s, or \"all\")",
+		spec, strings.Join(names, ", "))
+}
+
+// parseArrivals resolves -arrivals against the built-in processes.
+func parseArrivals(spec string) (hilos.ArrivalProcess, error) {
+	for _, p := range hilos.ArrivalProcesses() {
+		if p == hilos.ArrivalProcess(spec) {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range hilos.ArrivalProcesses() {
+		names = append(names, string(p))
+	}
+	return "", fmt.Errorf("unknown arrival process %q (known: %s)",
+		spec, strings.Join(names, ", "))
+}
+
+// parsePriorities turns "Short=1@15,Medium=0" into priority-class options.
+func parsePriorities(spec string) ([]hilos.ClusterOption, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []hilos.PriorityClass
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		class, rest, ok := strings.Cut(term, "=")
+		if !ok || class == "" {
+			return nil, fmt.Errorf("bad priority term %q (want class=priority[@deadlineSec])", term)
+		}
+		prioStr, dlStr, hasDl := strings.Cut(rest, "@")
+		prio, err := strconv.Atoi(prioStr)
+		if err != nil || prio < 0 {
+			return nil, fmt.Errorf("bad priority term %q: priority %q (want integer ≥ 0)", term, prioStr)
+		}
+		dl := 0.0
+		if hasDl {
+			if dl, err = strconv.ParseFloat(dlStr, 64); err != nil || dl < 0 {
+				return nil, fmt.Errorf("bad priority term %q: deadline %q (want seconds ≥ 0)", term, dlStr)
+			}
+		}
+		rules = append(rules, hilos.PriorityClass{Class: class, Priority: prio, DeadlineSec: dl})
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("empty priority spec")
+	}
+	return []hilos.ClusterOption{hilos.WithPriorityClasses(rules...)}, nil
+}
+
+func loadTrace(path string, seed int64, n int, rate float64, p hilos.ArrivalProcess) ([]hilos.TimedRequest, string, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -147,8 +265,8 @@ func loadTrace(path string, seed int64, n int, rate float64) ([]hilos.TimedReque
 		reqs, err := hilos.ReadArrivalTrace(f)
 		return reqs, fmt.Sprintf("trace %s (%d requests)", path, len(reqs)), err
 	}
-	reqs, err := hilos.NewTimedWorkloadTrace(seed, n, rate)
-	return reqs, fmt.Sprintf("%d requests, Poisson %g req/s, seed %d", n, rate, seed), err
+	reqs, err := hilos.NewWorkloadTraceWithArrivals(seed, n, rate, p)
+	return reqs, fmt.Sprintf("%d requests, %s %g req/s, seed %d", n, p, rate, seed), err
 }
 
 func printSummary(s hilos.ClusterSummary) {
@@ -158,7 +276,23 @@ func printSummary(s hilos.ClusterSummary) {
 	if s.RejectedJobs > 0 || s.FailedJobs > 0 {
 		fmt.Printf("  rejected %d failed %d", s.RejectedJobs, s.FailedJobs)
 	}
+	if s.PreemptedJobs > 0 {
+		fmt.Printf("  preempted %d", s.PreemptedJobs)
+	}
 	fmt.Println()
+	if len(s.PerPriority) > 1 {
+		for _, ps := range s.PerPriority {
+			fmt.Printf("    prio %-2d %4d reqs  delay p50/p99 %6.1f/%6.1fs",
+				ps.Priority, ps.Requests, ps.DelayP50Sec, ps.DelayP99Sec)
+			if ps.DeadlineMisses > 0 {
+				fmt.Printf("  missed %d deadlines", ps.DeadlineMisses)
+			}
+			if ps.PreemptedJobs > 0 {
+				fmt.Printf("  preempted %d", ps.PreemptedJobs)
+			}
+			fmt.Println()
+		}
+	}
 	for _, ps := range s.Pipelines {
 		fmt.Printf("    %-16s %3d batches %4d jobs  busy %8.1fs  util %5.1f%%  $%.4f  %.1fkJ",
 			ps.Name, ps.Batches, ps.Jobs, ps.BusySec, 100*ps.Utilization, ps.CostUSD, ps.EnergyJ/1e3)

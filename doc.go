@@ -54,14 +54,14 @@
 // via Experiments and ExperimentByID, and the accuracy harness via
 // AccuracySuite.
 //
-// # Serving: clusters, backlogs, and admission
+// # Serving: the event-driven cluster scheduler
 //
-// The service layer is the internal/cluster scheduler: a discrete-event,
-// simulated-clock dispatcher that admits timestamped requests into
-// per-class queues, packs batches under a max-batch/max-wait admission
-// policy, and assigns each batch to one pipeline of a fleet whose members
-// may be backed by different registered engines. Cluster composes a fleet
-// with functional options and drains a trace through it:
+// The service layer is the internal/cluster scheduler: one discrete-event,
+// simulated-clock loop over four event kinds — request arrival, batch
+// wait-timeout, request start-deadline, and pipeline-free — draining
+// per-priority-class queues through a fleet whose members may be backed by
+// different registered engines. Cluster composes a fleet with functional
+// options and drains a trace through it:
 //
 //	reqs, _ := hilos.NewTimedWorkloadTrace(7, 96, 0.8) // Poisson 0.8 req/s
 //	sum, err := hilos.Cluster(m, reqs,
@@ -75,13 +75,37 @@
 // Dispatch policies: DispatchLeastLoaded (earliest-available pipeline),
 // DispatchCheapestFeasible (lowest amortized dollars for the batch, §6.6
 // pricing over a three-year life), and DispatchFastestETA (earliest
-// completion counting queueing). WithMaxBacklog caps
-// admitted-but-unstarted work and rejects arrivals beyond it. The summary
-// reports makespan, queueing-delay percentiles (p50/p95/p99), rejected and
-// failed work, and per-pipeline utilization/cost/energy attribution —
+// completion counting queueing). Arrival processes: Poisson, uniform, and
+// a two-state MMPP burst generator (NewWorkloadTraceWithArrivals).
+//
+// Online/offline co-scheduling layers three extensions over the same loop:
+//
+//   - WithPriorityClasses tags workload classes with a priority rank and a
+//     start-deadline budget (e.g. Short as priority 1, 120 s), splitting
+//     one trace into online and offline tiers; NewOnlineOfflineTrace
+//     generates such a mix directly.
+//   - WithPreemption makes deadlines actionable: an expiring request
+//     forces its partial batch out immediately, and a batch that would
+//     still miss its deadline evicts strictly-lower-priority *unstarted*
+//     batches from the pipeline where it can start soonest. Evicted work
+//     is re-enqueued and re-run, never dropped; running batches always
+//     complete (preemption acts at batch boundaries only). The backlog cap
+//     (WithMaxBacklog) then rejects only arrivals that do not outrank the
+//     queued work, so offline queues absorb overload instead of bouncing
+//     online traffic.
+//   - WithContinuousBatching re-forms batches at dispatch time: a freed
+//     pipeline re-packs up to the admission batch size from the oldest
+//     waiting requests, instead of shipping the batch that happened to
+//     close at admission.
+//
+// The summary reports makespan, queueing-delay percentiles (p50/p95/p99)
+// overall and per priority class, rejected/failed/preempted work, deadline
+// misses, and per-pipeline utilization/cost/energy attribution —
 // deterministically, run after run. Arrival traces round-trip through
-// ReadArrivalTrace/WriteArrivalTrace CSV, and cmd/hilos-cluster sweeps
-// fleet compositions, rates and policies from the command line.
+// ReadArrivalTrace/WriteArrivalTrace CSV (optional priority/deadline
+// columns; legacy traces parse unchanged), and cmd/hilos-cluster sweeps
+// fleet compositions, rates, arrival processes, scheduling modes and
+// policies from the command line.
 //
 // Backlog remains the offline special case — a request trace packed into
 // same-shape batches, released at time zero over WithPipelines(n)

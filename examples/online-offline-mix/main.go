@@ -1,0 +1,94 @@
+// Online/offline co-scheduling walkthrough: the paper's economics hold only
+// if the near-storage tier absorbs offline work *without* starving
+// latency-sensitive traffic. This example drains one mixed trace — an
+// online tier of Short requests with a start-deadline budget, over an
+// offline backlog of Medium/Long work — through the same fleet under three
+// schedulers: the FIFO baseline (batches close at admission, run to
+// completion), deadline-aware preemption, and preemption plus continuous
+// batching. The online class's p99 queueing delay collapses while the
+// offline backlog still completes in full, a bounded makespan later.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hilos "repro"
+)
+
+func main() {
+	m, err := hilos.ModelByName("OPT-30B")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 24 online Short requests (priority 1, must start within 900 s of
+	// arrival — a batch-inference SLO, not an interactive one: a single
+	// long-context batch runs for minutes on this hardware) at 0.4 req/s,
+	// over 40 offline Medium/Long requests at 0.5 req/s. Deterministic per
+	// seed.
+	const deadline = 900.0
+	reqs, err := hilos.NewOnlineOfflineTrace(21, 24, 40, 0.4, 0.5, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	online, offline := 0, 0
+	for _, r := range reqs {
+		if r.Priority > 0 {
+			online++
+		} else {
+			offline++
+		}
+	}
+	fmt.Printf("trace: %d online (deadline %.0f s) + %d offline requests, model %s\n\n",
+		online, deadline, offline, m.Name)
+
+	// Two NSP hosts plus a cheap DRAM baseline, least-loaded dispatch: the
+	// same fleet for every scheduler, so only the scheduling changes.
+	fleet := []hilos.ClusterOption{
+		hilos.WithFleet(hilos.SystemHILOS, 2, 8),
+		hilos.WithFleet(hilos.SystemFlexDRAM, 1, 0),
+		hilos.WithAdmission(8, 90),
+		hilos.WithDispatchPolicy(hilos.DispatchLeastLoaded),
+	}
+
+	schedulers := []struct {
+		name string
+		opts []hilos.ClusterOption
+	}{
+		{"fifo baseline", nil},
+		{"preemption", []hilos.ClusterOption{hilos.WithPreemption()}},
+		{"preempt+continuous", []hilos.ClusterOption{hilos.WithPreemption(), hilos.WithContinuousBatching()}},
+	}
+
+	fmt.Printf("  %-20s %14s %14s %10s %10s %10s\n",
+		"scheduler", "online p99 (s)", "misses (of 24)", "preempted", "mksp (h)", "tok/s")
+	var base hilos.ClusterSummary
+	for i, sch := range schedulers {
+		s, err := hilos.Cluster(m, reqs, append(append([]hilos.ClusterOption{}, fleet...), sch.opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = s
+		}
+		on, ok := s.PriorityByClass(1)
+		if !ok {
+			log.Fatalf("%s: online class missing from summary", sch.name)
+		}
+		fmt.Printf("  %-20s %14.1f %14d %10d %10.2f %10.1f\n",
+			sch.name, on.DelayP99Sec, on.DeadlineMisses, s.PreemptedJobs,
+			s.MakespanSec/3600, s.Throughput())
+		if i > 0 && s.OutputTokens != base.OutputTokens {
+			log.Fatalf("%s: offline work was lost (%d vs %d tokens)",
+				sch.name, s.OutputTokens, base.OutputTokens)
+		}
+	}
+
+	fmt.Println("\nWith preemption, an online request whose deadline expires forces its")
+	fmt.Println("partial batch out immediately and evicts unstarted offline batches from")
+	fmt.Println("the pipeline where it can start soonest; the evicted batches re-enqueue")
+	fmt.Println("and re-run — the token totals above prove nothing is dropped. Continuous")
+	fmt.Println("batching then lets a freed pipeline re-pack the oldest waiting work, so")
+	fmt.Println("the offline backlog fills the gaps between online bursts.")
+}

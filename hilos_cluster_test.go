@@ -112,6 +112,193 @@ func TestClusterDefaultsAndErrors(t *testing.T) {
 	}
 }
 
+// Acceptance: with preemption enabled on a mixed online/offline trace, the
+// online priority class's p99 queueing delay is strictly lower than under
+// the FIFO baseline at equal fleet and policy; offline work is displaced,
+// not dropped, and its slowdown stays bounded.
+func TestClusterPreemptionBeatsFIFOForOnlineClass(t *testing.T) {
+	m, err := ModelByName("OPT-30B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := NewOnlineOfflineTrace(21, 24, 40, 0.4, 0.5, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := []ClusterOption{
+		WithFleet(SystemHILOS, 2, 8),
+		WithFleet(SystemFlexDRAM, 1, 0),
+		WithAdmission(8, 90),
+		WithDispatchPolicy(DispatchLeastLoaded),
+	}
+	fifo, err := Cluster(m, reqs, fleet...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := Cluster(m, reqs, append(fleet, WithPreemption())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	onFIFO, ok := fifo.PriorityByClass(1)
+	if !ok {
+		t.Fatalf("FIFO run lost the online class: %+v", fifo.PerPriority)
+	}
+	onPre, ok := pre.PriorityByClass(1)
+	if !ok {
+		t.Fatalf("preemptive run lost the online class: %+v", pre.PerPriority)
+	}
+	if onPre.DelayP99Sec >= onFIFO.DelayP99Sec {
+		t.Errorf("online p99 %.1fs under preemption not strictly below FIFO %.1fs",
+			onPre.DelayP99Sec, onFIFO.DelayP99Sec)
+	}
+	if onPre.DeadlineMisses > onFIFO.DeadlineMisses {
+		t.Errorf("preemption increased online deadline misses: %d vs %d",
+			onPre.DeadlineMisses, onFIFO.DeadlineMisses)
+	}
+
+	// Offline degradation is bounded: every offline job still completes
+	// (displaced, never dropped) and the total makespan stays within 2× of
+	// the FIFO schedule's.
+	offFIFO, _ := fifo.PriorityByClass(0)
+	offPre, _ := pre.PriorityByClass(0)
+	if offPre.Completed != offFIFO.Completed {
+		t.Errorf("preemption lost offline work: %d completed vs %d", offPre.Completed, offFIFO.Completed)
+	}
+	if pre.OutputTokens != fifo.OutputTokens {
+		t.Errorf("token totals differ: %d vs %d", pre.OutputTokens, fifo.OutputTokens)
+	}
+	if pre.MakespanSec > 2*fifo.MakespanSec {
+		t.Errorf("offline slowdown unbounded: makespan %.0fs vs FIFO %.0fs",
+			pre.MakespanSec, fifo.MakespanSec)
+	}
+	t.Logf("online p99: FIFO %.1fs → preempt %.1fs; makespan %.0fs → %.0fs; preempted %d jobs",
+		onFIFO.DelayP99Sec, onPre.DelayP99Sec, fifo.MakespanSec, pre.MakespanSec, pre.PreemptedJobs)
+
+	// Determinism across repeated facade calls with every extension on.
+	all := append(fleet, WithPreemption(), WithContinuousBatching())
+	first, err := Cluster(m, reqs, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Cluster(m, reqs, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("repeated preemptive+continuous cluster runs differ")
+	}
+}
+
+// WithPriorityClasses stamps a plain trace declaratively, equivalent to
+// hand-tagging the requests.
+func TestClusterPriorityClassStamping(t *testing.T) {
+	m, _ := ModelByName("OPT-30B")
+	reqs, err := NewTimedWorkloadTrace(9, 24, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []ClusterOption{
+		WithAdmission(4, 30),
+		WithPriorityClasses(PriorityClass{Class: "Short", Priority: 1, DeadlineSec: 20}),
+		WithPreemption(),
+	}
+	s, err := Cluster(m, reqs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.PriorityByClass(1); !ok {
+		t.Fatalf("stamped online class missing: %+v", s.PerPriority)
+	}
+	// The input trace must not be mutated by the stamping.
+	for _, r := range reqs {
+		if r.Priority != 0 || r.DeadlineSec != 0 {
+			t.Fatalf("caller's trace was mutated: %+v", r)
+		}
+	}
+	// Hand-stamping must agree with the option.
+	tagged := make([]TimedRequest, len(reqs))
+	copy(tagged, reqs)
+	for i := range tagged {
+		if tagged[i].Class.Name == "Short" {
+			tagged[i].Priority = 1
+			tagged[i].DeadlineSec = 20
+		}
+	}
+	byHand, err := Cluster(m, tagged, WithAdmission(4, 30), WithPreemption())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, byHand) {
+		t.Error("WithPriorityClasses disagrees with hand-stamped requests")
+	}
+
+	if _, err := Cluster(m, reqs, WithPriorityClasses()); err == nil {
+		t.Error("empty rule list accepted")
+	}
+	if _, err := Cluster(m, reqs, WithPriorityClasses(PriorityClass{Class: "Short", Priority: -1})); err == nil {
+		t.Error("negative priority accepted")
+	}
+	if _, err := Cluster(m, reqs, WithPriorityClasses(PriorityClass{Class: "Short", DeadlineSec: -2})); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+// The bursty generator wires through the facade and produces a valid,
+// deterministic cluster trace.
+func TestWorkloadTraceArrivalProcesses(t *testing.T) {
+	for _, p := range ArrivalProcesses() {
+		reqs, err := NewWorkloadTraceWithArrivals(3, 16, 2, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(reqs) != 16 {
+			t.Fatalf("%s: %d requests, want 16", p, len(reqs))
+		}
+		again, err := NewWorkloadTraceWithArrivals(3, 16, 2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reqs, again) {
+			t.Errorf("%s: trace not deterministic per seed", p)
+		}
+	}
+	if _, err := NewWorkloadTraceWithArrivals(3, 16, 2, "sawtooth"); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+}
+
+// Scheduling metadata survives the CSV round trip through the facade.
+func TestOnlineOfflineTraceRoundTrip(t *testing.T) {
+	reqs, err := NewOnlineOfflineTrace(5, 8, 12, 1.0, 1.5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteArrivalTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArrivalTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reqs, back) {
+		t.Error("online/offline trace did not round-trip through CSV")
+	}
+	online := 0
+	for _, r := range back {
+		if r.Priority == 1 {
+			online++
+			if r.DeadlineSec != 30 {
+				t.Errorf("online request lost its deadline: %+v", r)
+			}
+		}
+	}
+	if online != 8 {
+		t.Errorf("%d online requests after round trip, want 8", online)
+	}
+}
+
 func TestArrivalTraceRoundTripFacade(t *testing.T) {
 	reqs, err := NewTimedWorkloadTrace(5, 20, 1.5)
 	if err != nil {

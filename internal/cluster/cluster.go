@@ -1,19 +1,37 @@
 // Package cluster is the trace-driven service layer over heterogeneous
-// engine fleets: a discrete-event, simulated-clock dispatcher that admits
-// timestamped requests into per-class queues, packs batches under a
-// max-batch/max-wait admission policy (batcher-style timeout semantics),
-// and assigns each batch to one pipeline of a fleet whose members may be
-// backed by *different* registered engines (e.g. two HILOS hosts, a DRAM
-// baseline, and an InstInfer tier) under a pluggable cost-aware policy.
+// engine fleets: an event-driven, simulated-clock scheduler that admits
+// timestamped requests into per-priority-class queues and drains them
+// through a fleet whose members may be backed by *different* registered
+// engines (e.g. two HILOS hosts, a DRAM baseline, and an InstInfer tier)
+// under a pluggable cost-aware policy.
 //
-// The offline backlog of internal/serving is the degenerate trace — every
-// request arrives at time zero over identical pipelines — so
-// serving.Evaluate delegates to this package's Dispatch core: there is one
-// scheduling implementation, not two.
+// The core is one discrete-event loop (events.go) over four event kinds —
+// request arrival, batch wait-timeout, request start-deadline, and
+// pipeline-free — layered over per-priority queues (queue.go) and the
+// policy/placement layer (dispatch.go). Two admission extensions change how
+// batches meet pipelines:
+//
+//   - Continuous batching re-forms batches at dispatch time: work waits in
+//     its queue until a pipeline is actually free, and the freed pipeline
+//     re-packs up to MaxBatch of the oldest waiting requests — not the
+//     stale batch that happened to close at admission.
+//   - Deadline-aware preemption lets online priority classes displace
+//     queued offline work: a batch that would miss its start deadline takes
+//     the pipeline where it starts soonest after evicting
+//     strictly-lower-priority *unstarted* batches, which are re-enqueued
+//     and re-run — never dropped. Preemption acts only at batch boundaries;
+//     running work always completes.
+//
+// With both extensions disabled the loop reproduces the original
+// close-at-admission, run-to-completion scheduler event for event, so pure
+// offline studies are unchanged. The offline backlog of internal/serving is
+// the degenerate trace — every request arrives at time zero, priority 0,
+// over identical pipelines — and serving.Evaluate delegates to this
+// package's Dispatch core: there is one scheduling implementation, not two.
 //
 // Everything is deterministic under -race: engine simulations are pure and
-// prewarmed on a worker pool, while admission and assignment run on a
-// single goroutine against the simulated clock.
+// prewarmed on a worker pool, while admission, eviction and placement run
+// on a single goroutine against the simulated clock.
 package cluster
 
 import (
@@ -30,10 +48,13 @@ import (
 // Request is one timestamped inference request.
 type Request = workload.TimedRequest
 
-// Admission is the batch-formation policy: a per-class batch closes when it
-// reaches MaxBatch requests or when its oldest member has waited MaxWaitSec
-// (whichever comes first), and new arrivals are rejected while the admitted
-// backlog holds MaxBacklog or more not-yet-started requests.
+// Admission is the batch-formation policy: a per-priority-class batch
+// closes when it reaches MaxBatch requests or when its oldest member has
+// waited MaxWaitSec (whichever comes first), and new arrivals are rejected
+// while the admitted backlog holds MaxBacklog or more not-yet-started
+// requests. ContinuousBatching and Preemption select the event-driven
+// scheduling extensions; both default off, which reproduces the
+// close-at-admission scheduler exactly.
 type Admission struct {
 	// MaxBatch is the target batch size (≥ 1).
 	MaxBatch int
@@ -44,9 +65,26 @@ type Admission struct {
 	MaxWaitSec float64
 	// MaxBacklog caps admitted-but-unstarted requests (queued plus assigned
 	// to a pipeline that has not begun them). Arrivals beyond the cap are
-	// rejected — the knob that makes online/offline mixes studyable. 0
-	// means unbounded (pure offline admission).
+	// rejected — unless Preemption is on, in which case an arrival competes
+	// only with work of its own priority and above, so online requests are
+	// never rejected because offline work is queued. 0 means unbounded
+	// (pure offline admission).
 	MaxBacklog int
+	// ContinuousBatching re-forms batches at dispatch time: requests wait
+	// in their queue until a pipeline is free, which then re-packs up to
+	// MaxBatch of the oldest eligible requests. Off, batches close at
+	// admission and queue ahead on the policy's pick.
+	ContinuousBatching bool
+	// Preemption enables deadline-aware displacement: requests carrying a
+	// DeadlineSec force their partial batch out when the deadline arrives,
+	// and a batch that would miss its earliest member deadline evicts
+	// strictly-lower-priority unstarted batches (re-enqueued, never
+	// dropped) from the pipeline where it can start soonest. Off, deadlines
+	// are advisory — misses are reported but never change the schedule.
+	// With ContinuousBatching there are no unstarted batches to evict, so
+	// preemption reduces to deadline-triggered dispatch eligibility plus
+	// the priority ordering of the queues.
+	Preemption bool
 }
 
 func (a Admission) validate() error {
@@ -90,6 +128,31 @@ type PipelineStats struct {
 	EnergyErr string
 }
 
+// PriorityStats attributes scheduling outcomes to one priority class.
+type PriorityStats struct {
+	// Priority is the class (higher is more urgent; 0 is offline).
+	Priority int
+	// Requests counts trace members of this priority; Admitted excludes
+	// backlog rejections; Completed excludes failed batches.
+	Requests  int
+	Admitted  int
+	Completed int
+
+	// Queueing delay — batch execution start minus request arrival — over
+	// this priority's completed requests.
+	DelayMeanSec float64
+	DelayP50Sec  float64
+	DelayP95Sec  float64
+	DelayP99Sec  float64
+
+	// PreemptedJobs counts evictions of this priority's jobs from an
+	// unstarted batch (each was re-enqueued and re-ran).
+	PreemptedJobs int
+	// DeadlineMisses counts completed requests that started after their
+	// deadline.
+	DeadlineMisses int
+}
+
 // Summary is the outcome of draining a timestamped trace through a fleet.
 type Summary struct {
 	Policy Policy
@@ -123,12 +186,26 @@ type Summary struct {
 	DelayP95Sec  float64
 	DelayP99Sec  float64
 
+	// PreemptedBatches/PreemptedJobs count batch-boundary evictions: work
+	// displaced by a higher-priority deadline and re-enqueued. Preempted
+	// jobs still complete (they are not failures), so they appear in
+	// Completed too.
+	PreemptedBatches int
+	PreemptedJobs    int
+	// DeadlineMisses counts completed requests that started after their
+	// arrival + DeadlineSec budget.
+	DeadlineMisses int
+
 	// PerClassSec attributes execution seconds to request classes.
 	PerClassSec map[string]float64
+	// PerPriority attributes scheduling outcomes per priority class, most
+	// urgent first. Single-priority (pure offline) traces have one entry.
+	PerPriority []PriorityStats
 	// Pipelines attributes work, cost and energy per fleet member.
 	Pipelines []PipelineStats
 	// Assignments records every batch's routing decision, in dispatch
-	// order, for policy comparisons.
+	// order, for policy comparisons. Evicted (preempted) batches are not
+	// listed; their re-dispatches are.
 	Assignments []Assignment
 
 	// TotalCostUSD and TotalEnergyJ sum the per-pipeline attributions.
@@ -144,192 +221,60 @@ func (s Summary) Throughput() float64 {
 	return float64(s.OutputTokens) / s.MakespanSec
 }
 
-// classQueue is one per-class admission queue.
-type classQueue struct {
-	class workload.Class
-	reqs  []Request
-}
-
-func (q *classQueue) deadline(maxWait float64) float64 {
-	return q.reqs[0].ArrivalSec + maxWait
-}
-
-// unstarted tracks jobs assigned to a pipeline that has not begun them, for
-// the backlog cap.
-type unstarted struct {
-	startSec float64
-	jobs     int
-}
-
-// Run drains a timestamped trace through the fleet: the full discrete-event
-// loop of arrivals, per-class queues, batch closure (full or timed out) and
-// immediate policy dispatch. Requests are processed in arrival order (ties
-// by ID); expired batch timeouts fire, in deadline order, before any later
-// arrival is admitted, and remaining queues flush at their deadlines after
-// the trace ends. The result is identical run to run.
-func Run(cfg Config, reqs []Request) (Summary, error) {
-	if err := cfg.Admission.validate(); err != nil {
-		return Summary{}, err
-	}
-	if len(reqs) == 0 {
-		return Summary{}, fmt.Errorf("cluster: empty trace")
-	}
-	d, err := newDispatcher(cfg.Model, cfg.Fleet, cfg.Policy)
-	if err != nil {
-		return Summary{}, err
-	}
-
-	sorted := make([]Request, len(reqs))
-	copy(sorted, reqs)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].ArrivalSec != sorted[j].ArrivalSec {
-			return sorted[i].ArrivalSec < sorted[j].ArrivalSec
-		}
-		return sorted[i].ID < sorted[j].ID
-	})
-	for _, r := range sorted {
-		if r.ArrivalSec < 0 || math.IsInf(r.ArrivalSec, 0) || math.IsNaN(r.ArrivalSec) {
-			return Summary{}, fmt.Errorf("cluster: arrival time %g for request %d is not finite and ≥ 0", r.ArrivalSec, r.ID)
+// PriorityByClass returns the stats entry for one priority class.
+func (s Summary) PriorityByClass(priority int) (PriorityStats, bool) {
+	for _, ps := range s.PerPriority {
+		if ps.Priority == priority {
+			return ps, true
 		}
 	}
-
-	// Prewarm the dominant shapes (every distinct class shape at the target
-	// batch size on every pipeline) concurrently; odd tail sizes simulate
-	// lazily on the event loop.
-	var shapes []prewarmShape
-	seenClass := map[workload.Class]bool{}
-	for _, r := range sorted {
-		if seenClass[r.Class] {
-			continue
-		}
-		seenClass[r.Class] = true
-		for p := range cfg.Fleet {
-			shapes = append(shapes, prewarmShape{p: p, c: r.Class, size: cfg.Admission.MaxBatch})
-		}
-	}
-	d.prewarm(shapes)
-
-	// Queues key on the full class shape, not just the name: a replayed
-	// trace may reuse one label for different request shapes, and merging
-	// those into one batch would simulate them at the wrong shape.
-	queues := map[workload.Class]*classQueue{}
-	var queued int
-	var pendingStarts []unstarted
-	var asgs []Assignment
-	var rejected []int
-
-	// closeQueue forms a batch from everything waiting in q, releases it at
-	// the given time, and dispatches it immediately.
-	closeQueue := func(q *classQueue, release float64) {
-		b := BatchJob{Class: q.class, ReleaseSec: release}
-		for _, r := range q.reqs {
-			b.JobIDs = append(b.JobIDs, r.ID)
-			b.Arrivals = append(b.Arrivals, r.ArrivalSec)
-		}
-		queued -= len(q.reqs)
-		q.reqs = nil
-		a := d.assign(b)
-		if a.Pipeline >= 0 {
-			pendingStarts = append(pendingStarts, unstarted{startSec: a.StartSec, jobs: len(b.JobIDs)})
-		}
-		asgs = append(asgs, a)
-	}
-
-	// fireExpired closes, in deadline order (ties by class shape), every
-	// queue whose timeout lands strictly before now. An arrival at exactly
-	// the deadline still joins its batch.
-	fireExpired := func(now float64) {
-		for {
-			var pick *classQueue
-			for _, key := range sortedQueueKeys(queues) {
-				q := queues[key]
-				if len(q.reqs) == 0 {
-					continue
-				}
-				if dl := q.deadline(cfg.Admission.MaxWaitSec); dl < now {
-					if pick == nil || dl < pick.deadline(cfg.Admission.MaxWaitSec) {
-						pick = q
-					}
-				}
-			}
-			if pick == nil {
-				return
-			}
-			closeQueue(pick, pick.deadline(cfg.Admission.MaxWaitSec))
-		}
-	}
-
-	backlogAt := func(now float64) int {
-		kept := pendingStarts[:0]
-		n := 0
-		for _, u := range pendingStarts {
-			if u.startSec > now {
-				kept = append(kept, u)
-				n += u.jobs
-			}
-		}
-		pendingStarts = kept
-		return n + queued
-	}
-
-	for _, r := range sorted {
-		fireExpired(r.ArrivalSec)
-		if cfg.Admission.MaxBacklog > 0 && backlogAt(r.ArrivalSec) >= cfg.Admission.MaxBacklog {
-			rejected = append(rejected, r.ID)
-			continue
-		}
-		q := queues[r.Class]
-		if q == nil {
-			q = &classQueue{class: r.Class}
-			queues[r.Class] = q
-		}
-		q.reqs = append(q.reqs, r)
-		queued++
-		if len(q.reqs) >= cfg.Admission.MaxBatch {
-			closeQueue(q, r.ArrivalSec)
-		}
-	}
-	// Trace exhausted: remaining partial batches flush when their timeouts
-	// fire, exactly as they would with no further arrivals.
-	fireExpired(math.Inf(1))
-
-	return summarize(cfg, len(reqs), asgs, rejected, sorted[0].ArrivalSec), nil
-}
-
-func sortedQueueKeys(qs map[workload.Class]*classQueue) []workload.Class {
-	keys := make([]workload.Class, 0, len(qs))
-	for k := range qs {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Name != keys[j].Name {
-			return keys[i].Name < keys[j].Name
-		}
-		if keys[i].Input != keys[j].Input {
-			return keys[i].Input < keys[j].Input
-		}
-		return keys[i].Output < keys[j].Output
-	})
-	return keys
+	return PriorityStats{}, false
 }
 
 // summarize folds assignments into the Summary, attributing time, tokens,
-// cost and energy per pipeline and computing queueing-delay percentiles.
+// cost and energy per pipeline and queueing delay per priority class.
 // startSec is the trace's first arrival; the makespan measures from it.
-func summarize(cfg Config, requests int, asgs []Assignment, rejected []int, startSec float64) Summary {
+func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, startSec float64, tally preemptTally) Summary {
 	s := Summary{
-		Policy:         cfg.Policy,
-		Requests:       requests,
-		RejectedJobs:   len(rejected),
-		RejectedJobIDs: rejected,
-		PerClassSec:    map[string]float64{},
-		Pipelines:      make([]PipelineStats, len(cfg.Fleet)),
-		Assignments:    asgs,
+		Policy:           cfg.Policy,
+		Requests:         len(reqs),
+		RejectedJobs:     len(rejected),
+		RejectedJobIDs:   rejected,
+		PreemptedBatches: tally.batches,
+		PreemptedJobs:    tally.jobs,
+		PerClassSec:      map[string]float64{},
+		Pipelines:        make([]PipelineStats, len(cfg.Fleet)),
+		Assignments:      asgs,
 	}
 	for i, p := range cfg.Fleet {
 		s.Pipelines[i].Name = p.Name
 	}
+
+	prioOf := make(map[int]int, len(reqs))
+	perPrio := map[int]*PriorityStats{}
+	prioStats := func(prio int) *PriorityStats {
+		ps := perPrio[prio]
+		if ps == nil {
+			ps = &PriorityStats{Priority: prio}
+			perPrio[prio] = ps
+		}
+		return ps
+	}
+	for _, r := range reqs {
+		prioOf[r.ID] = r.Priority
+		ps := prioStats(r.Priority)
+		ps.Requests++
+		ps.Admitted++
+	}
+	for _, id := range rejected {
+		prioStats(prioOf[id]).Admitted--
+	}
+	for prio, jobs := range tally.byPrio {
+		prioStats(prio).PreemptedJobs = jobs
+	}
+
 	var delays []float64
+	prioDelays := map[int][]float64{}
 	for _, a := range asgs {
 		s.Batches++
 		n := len(a.Batch.JobIDs)
@@ -363,12 +308,20 @@ func summarize(cfg Config, requests int, asgs []Assignment, rejected []int, star
 		if fin := a.FinishSec - startSec; fin > s.MakespanSec {
 			s.MakespanSec = fin
 		}
+		pst := prioStats(a.Batch.Priority)
+		pst.Completed += n
 		for i := range a.Batch.JobIDs {
 			arr := a.Batch.ReleaseSec
 			if a.Batch.Arrivals != nil {
 				arr = a.Batch.Arrivals[i]
 			}
-			delays = append(delays, a.StartSec-arr)
+			delay := a.StartSec - arr
+			delays = append(delays, delay)
+			prioDelays[a.Batch.Priority] = append(prioDelays[a.Batch.Priority], delay)
+			if a.Batch.Deadlines != nil && a.Batch.Deadlines[i] > 0 && a.StartSec > a.Batch.Deadlines[i] {
+				pst.DeadlineMisses++
+				s.DeadlineMisses++
+			}
 		}
 	}
 	s.Admitted = s.Requests - s.RejectedJobs
@@ -385,5 +338,20 @@ func summarize(cfg Config, requests int, asgs []Assignment, rejected []int, star
 	s.DelayP50Sec = stats.Percentile(delays, 50)
 	s.DelayP95Sec = stats.Percentile(delays, 95)
 	s.DelayP99Sec = stats.Percentile(delays, 99)
+
+	prios := make([]int, 0, len(perPrio))
+	for prio := range perPrio {
+		prios = append(prios, prio)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+	for _, prio := range prios {
+		ps := perPrio[prio]
+		d := prioDelays[prio]
+		ps.DelayMeanSec = stats.Mean(d)
+		ps.DelayP50Sec = stats.Percentile(d, 50)
+		ps.DelayP95Sec = stats.Percentile(d, 95)
+		ps.DelayP99Sec = stats.Percentile(d, 99)
+		s.PerPriority = append(s.PerPriority, *ps)
+	}
 	return s
 }

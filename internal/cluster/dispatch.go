@@ -81,11 +81,15 @@ func (p Policy) valid() bool {
 
 // BatchJob is one formed batch released to the dispatcher at ReleaseSec.
 // Arrivals carries the member requests' arrival times for queueing-delay
-// accounting; nil means every member arrived at ReleaseSec.
+// accounting; nil means every member arrived at ReleaseSec. Deadlines
+// carries each member's absolute start deadline (0 = none) and Priority the
+// batch's priority class — zero values reproduce the pre-priority behavior.
 type BatchJob struct {
 	Class      workload.Class
 	JobIDs     []int
 	Arrivals   []float64
+	Deadlines  []float64
+	Priority   int
 	ReleaseSec float64
 }
 
@@ -118,9 +122,10 @@ type repKey struct {
 	size    int
 }
 
-// dispatcher is the scheduling core shared by Run (trace-driven admission)
-// and Dispatch (pre-formed plans, serving.Evaluate's path). It is
-// single-goroutine after prewarming, which keeps assignment deterministic.
+// dispatcher is the policy layer shared by the event loop (trace-driven
+// admission, Run) and Dispatch (pre-formed plans, serving.Evaluate's path).
+// It is single-goroutine after prewarming, which keeps assignment
+// deterministic.
 type dispatcher struct {
 	m      model.Config
 	fleet  []Pipeline
@@ -261,14 +266,25 @@ func (d *dispatcher) execSec(p int, c workload.Class, n int, rep pipeline.Report
 	return sec
 }
 
-// assign picks a pipeline for the batch per the policy, advances that
-// pipeline's clock, and returns the assignment. Failed batches leave every
-// clock untouched.
-func (d *dispatcher) assign(b BatchJob) Assignment {
+// placement is a planned (not yet committed) pipeline choice for one batch.
+// p is -1 when no pipeline could take the batch; reason then says why.
+type placement struct {
+	p      int
+	rep    pipeline.Report
+	sec    float64
+	start  float64
+	reason string
+}
+
+// pick is the one policy-scoring loop behind plan and planIdle: it ranks
+// every pipeline that can place the batch (and, with idleOnly, is free at
+// now) without committing anything. feasible reports whether any fleet
+// member — busy or not — could ever place the batch.
+func (d *dispatcher) pick(b BatchJob, idleOnly bool, now float64) (pl placement, feasible bool) {
 	n := len(b.JobIDs)
 	best := -1
 	var bestRep pipeline.Report
-	var bestSec, bestKey, bestTie float64
+	var bestSec, bestKey, bestTie, bestStart float64
 	var firstReason string
 	for p := range d.fleet {
 		rep := d.report(p, b.Class, n)
@@ -277,6 +293,10 @@ func (d *dispatcher) assign(b BatchJob) Assignment {
 				firstReason = rep.Reason
 			}
 			continue
+		}
+		feasible = true
+		if idleOnly && d.freeAt[p] > now {
+			continue // busy: continuous batching never queues behind it
 		}
 		sec := d.execSec(p, b.Class, n, rep)
 		start := b.ReleaseSec
@@ -293,31 +313,60 @@ func (d *dispatcher) assign(b BatchJob) Assignment {
 			key, tie = start+sec, 0
 		}
 		if best < 0 || key < bestKey || (key == bestKey && tie < bestTie) {
-			best, bestRep, bestSec, bestKey, bestTie = p, rep, sec, key, tie
+			best, bestRep, bestSec, bestKey, bestTie, bestStart = p, rep, sec, key, tie, start
 		}
 	}
 	if best < 0 {
 		if firstReason == "" {
 			firstReason = "no feasible pipeline"
 		}
-		return Assignment{Batch: b, Pipeline: -1, Reason: firstReason}
+		return placement{p: -1, reason: firstReason}, feasible
 	}
-	start := b.ReleaseSec
-	if d.freeAt[best] > start {
-		start = d.freeAt[best]
-	}
-	d.freeAt[best] = start + bestSec
+	return placement{p: best, rep: bestRep, sec: bestSec, start: bestStart}, true
+}
+
+// plan picks a pipeline for the batch per the policy without committing it:
+// the pipeline clocks are untouched until commit. Failed plans (p == -1)
+// carry the first engine's refusal reason.
+func (d *dispatcher) plan(b BatchJob) placement {
+	pl, _ := d.pick(b, false, 0)
+	return pl
+}
+
+// planIdle picks a pipeline among those idle at now (freeAt ≤ now) — the
+// continuous-batching variant, where batches are never queued ahead on a
+// busy pipeline. feasible == false means the batch fails as a unit; true
+// with p == -1 means "wait for a pipeline-free event".
+func (d *dispatcher) planIdle(b BatchJob, now float64) (placement, bool) {
+	return d.pick(b, true, now)
+}
+
+// commit advances the chosen pipeline's clock and materializes the
+// assignment. Plans must be committed before any further planning.
+func (d *dispatcher) commit(b BatchJob, pl placement) Assignment {
+	d.freeAt[pl.p] = pl.start + pl.sec
 	return Assignment{
-		Batch: b, Pipeline: best,
-		StartSec: start, FinishSec: start + bestSec,
-		Report: bestRep,
+		Batch: b, Pipeline: pl.p,
+		StartSec: pl.start, FinishSec: pl.start + pl.sec,
+		Report: pl.rep,
 	}
+}
+
+// assign picks a pipeline for the batch per the policy, advances that
+// pipeline's clock, and returns the assignment. Failed batches leave every
+// clock untouched.
+func (d *dispatcher) assign(b BatchJob) Assignment {
+	pl := d.plan(b)
+	if pl.p < 0 {
+		return Assignment{Batch: b, Pipeline: -1, Reason: pl.reason}
+	}
+	return d.commit(b, pl)
 }
 
 // Dispatch assigns pre-formed batches to fleet pipelines in slice order
 // under the policy and returns one assignment per batch. It is the
-// scheduling core behind both the trace-driven cluster (Run forms batches
-// via admission first) and serving.Evaluate (whose offline plan is the
+// policy core behind both the trace-driven cluster (Run forms batches via
+// the event loop first) and serving.Evaluate (whose offline plan is the
 // special case of identical pipelines and all-zero release times).
 func Dispatch(m model.Config, batches []BatchJob, fleet []Pipeline, policy Policy) ([]Assignment, error) {
 	if len(batches) == 0 {

@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// slot is one dispatched batch on the event loop's schedule. In
+// close-at-admission mode slots queue up on a pipeline's chain and may be
+// evicted (preempted at the batch boundary) before they start; in
+// continuous-batching mode a slot starts the instant it is formed. Failed
+// slots (pipe == -1) record batches no pipeline could ever place.
+type slot struct {
+	b       BatchJob
+	rep     placementReport
+	pipe    int
+	reason  string
+	start   float64
+	finish  float64
+	evicted bool
+}
+
+// placementReport bundles what commit needs to (re)compute a slot's timing.
+type placementReport struct {
+	rep     pipeline.Report
+	execSec float64
+}
+
+// eventLoop is the unified scheduling core behind Run: a simulated-clock
+// discrete-event loop over arrival / wait-timeout / deadline /
+// pipeline-free events and per-priority-class queues. With every extension
+// disabled it reproduces the close-at-admission, run-to-completion
+// scheduler exactly, event for event.
+type eventLoop struct {
+	cfg    Config
+	d      *dispatcher
+	events eventHeap
+	seq    int
+	now    float64
+
+	queues map[queueKey]*classQueue
+
+	// chains[p] holds the live slots on pipeline p, in execution order: the
+	// running slot (immovable) and, in close-at-admission mode, an
+	// unstarted suffix that preemption may evict and re-enqueue. Finished
+	// slots are pruned as the clock advances; floors[p] keeps the pruned
+	// prefix's finish time as the rescheduling baseline.
+	chains [][]*slot
+	floors []float64
+	// order records every dispatch decision in the order it was made;
+	// evicted slots are filtered out of the final Summary but keep the
+	// dispatch order of everything else stable.
+	order []*slot
+
+	rejected []int
+	tally    preemptTally
+}
+
+// preemptTally counts batch-boundary evictions.
+type preemptTally struct {
+	batches int
+	jobs    int
+	byPrio  map[int]int
+}
+
+func (l *eventLoop) push(e event) {
+	e.seq = l.seq
+	l.seq++
+	l.events.push(e)
+}
+
+// run drains the event heap: the whole simulation, arrivals to final flush.
+func (l *eventLoop) run() {
+	for l.events.Len() > 0 {
+		e := l.events.pop()
+		l.now = e.at
+		l.compact()
+		switch e.kind {
+		case evArrival:
+			l.arrive(e.req)
+		case evTimeout:
+			l.fireTimeout(e)
+		case evDeadline:
+			l.fireDeadline(e)
+		case evFree:
+			l.tryDispatch()
+		}
+	}
+}
+
+// compact prunes finished slots (finish ≤ now) from the pipeline chains, so
+// the backlog and preemption scans stay proportional to the live schedule,
+// not the whole history. Slot finishes are non-decreasing along a chain, so
+// the finished work is always a prefix; its last finish becomes the floor.
+func (l *eventLoop) compact() {
+	for p, chain := range l.chains {
+		i := 0
+		for i < len(chain) && chain[i].finish <= l.now {
+			l.floors[p] = chain[i].finish
+			i++
+		}
+		if i > 0 {
+			l.chains[p] = chain[i:]
+		}
+	}
+}
+
+// backlog counts admitted-but-unstarted jobs of priority ≥ minPrio: queued
+// requests plus jobs in unstarted slots. Without preemption minPrio is 0,
+// which counts everything — the original backlog-cap semantics.
+func (l *eventLoop) backlog(minPrio int) int {
+	n := 0
+	for _, q := range l.queues {
+		if q.key.priority >= minPrio {
+			n += len(q.reqs)
+		}
+	}
+	for _, chain := range l.chains {
+		for _, s := range chain {
+			if s.start > l.now && s.b.Priority >= minPrio {
+				n += len(s.b.JobIDs)
+			}
+		}
+	}
+	return n
+}
+
+// arrive admits one request: backlog cap, queue insertion, batch closure on
+// fill (close-at-admission mode) or a dispatch attempt (continuous mode).
+func (l *eventLoop) arrive(r Request) {
+	if cap := l.cfg.Admission.MaxBacklog; cap > 0 {
+		// With preemption, a request only competes for backlog space with
+		// work of its own priority or above: online arrivals are no longer
+		// rejected just because offline work is queued — the offline tier
+		// absorbs the overload by waiting instead.
+		minPrio := 0
+		if l.cfg.Admission.Preemption {
+			minPrio = r.Priority
+		}
+		if l.backlog(minPrio) >= cap {
+			l.rejected = append(l.rejected, r.ID)
+			return
+		}
+	}
+	k := queueKey{priority: r.Priority, class: r.Class}
+	q := l.queues[k]
+	if q == nil {
+		q = &classQueue{key: k}
+		l.queues[k] = q
+	}
+	if len(q.reqs) == 0 {
+		l.push(event{at: r.ArrivalSec + l.cfg.Admission.MaxWaitSec, kind: evTimeout, key: k,
+			dl: r.ArrivalSec + l.cfg.Admission.MaxWaitSec})
+	}
+	q.reqs = append(q.reqs, r)
+	if l.cfg.Admission.Preemption && r.DeadlineSec > 0 {
+		l.push(event{at: r.StartDeadline(), kind: evDeadline, req: r})
+	}
+	if l.cfg.Admission.ContinuousBatching {
+		l.tryDispatch()
+	} else if len(q.reqs) >= l.cfg.Admission.MaxBatch {
+		l.closeQueue(q, r.ArrivalSec)
+	}
+}
+
+// fireTimeout handles a max-wait expiry. Stale events — the queue already
+// closed, or refilled with a later head — are skipped: the armed deadline
+// no longer matches.
+func (l *eventLoop) fireTimeout(e event) {
+	q := l.queues[e.key]
+	if q == nil || len(q.reqs) == 0 || q.waitDeadline(l.cfg.Admission.MaxWaitSec) != e.dl {
+		return
+	}
+	if l.cfg.Admission.ContinuousBatching {
+		l.tryDispatch()
+		return
+	}
+	l.closeQueue(q, e.dl)
+}
+
+// fireDeadline handles a start-deadline expiry (preemption mode only): if
+// the request is still waiting in its queue, its partial batch closes right
+// now and dispatches with deadline-aware placement, instead of waiting out
+// the max-wait timer behind offline work.
+func (l *eventLoop) fireDeadline(e event) {
+	q := l.queues[queueKey{priority: e.req.Priority, class: e.req.Class}]
+	if q == nil {
+		return
+	}
+	waiting := false
+	for _, r := range q.reqs {
+		if r.ID == e.req.ID {
+			waiting = true
+			break
+		}
+	}
+	if !waiting {
+		return // already batched (and possibly already running)
+	}
+	if l.cfg.Admission.ContinuousBatching {
+		l.tryDispatch() // the queue is ripe now via its min start deadline
+		return
+	}
+	l.closeQueue(q, l.now)
+}
+
+// makeBatch forms a BatchJob from requests of one queue.
+func makeBatch(k queueKey, reqs []Request, release float64) BatchJob {
+	b := BatchJob{Class: k.class, Priority: k.priority, ReleaseSec: release}
+	for _, r := range reqs {
+		b.JobIDs = append(b.JobIDs, r.ID)
+		b.Arrivals = append(b.Arrivals, r.ArrivalSec)
+		if r.DeadlineSec > 0 {
+			b.Deadlines = append(b.Deadlines, r.ArrivalSec+r.DeadlineSec)
+		} else {
+			b.Deadlines = append(b.Deadlines, 0)
+		}
+	}
+	return b
+}
+
+// minDeadline is the batch's earliest member start deadline, or +Inf.
+func minDeadline(b BatchJob) float64 {
+	min := math.Inf(1)
+	for _, d := range b.Deadlines {
+		if d > 0 && d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// closeQueue forms a batch from everything waiting in q, releases it at the
+// given time, and places it (close-at-admission mode).
+func (l *eventLoop) closeQueue(q *classQueue, release float64) {
+	b := makeBatch(q.key, q.reqs, release)
+	q.reqs = nil
+	l.place(b)
+}
+
+// commitSlot materializes a planned placement as a schedule slot.
+func (l *eventLoop) commitSlot(b BatchJob, pl placement) *slot {
+	s := &slot{
+		b: b, rep: placementReport{rep: pl.rep, execSec: pl.sec},
+		pipe: pl.p, start: pl.start, finish: pl.start + pl.sec,
+	}
+	l.d.freeAt[pl.p] = s.finish
+	l.chains[pl.p] = append(l.chains[pl.p], s)
+	l.order = append(l.order, s)
+	return s
+}
+
+// failSlot records a batch no pipeline could place.
+func (l *eventLoop) failSlot(b BatchJob, reason string) {
+	l.order = append(l.order, &slot{b: b, pipe: -1, reason: reason})
+}
+
+// place dispatches a closed batch (close-at-admission mode). Under
+// preemption, a batch that would miss its earliest member deadline on the
+// policy's pick instead takes the pipeline where it can start soonest after
+// evicting strictly-lower-priority unstarted slots; evicted batches are
+// re-enqueued, never dropped.
+func (l *eventLoop) place(b BatchJob) {
+	pl := l.d.plan(b)
+	if pl.p < 0 {
+		l.failSlot(b, pl.reason)
+		return
+	}
+	if l.cfg.Admission.Preemption && minDeadline(b) < pl.start {
+		if p, est := l.bestPreemptive(b); p >= 0 && est < pl.start {
+			l.preemptInto(p, b)
+			return
+		}
+	}
+	l.commitSlot(b, pl)
+}
+
+// placePlain dispatches without the preemption escalation — used for
+// re-dispatching evicted batches, so one eviction cannot cascade.
+func (l *eventLoop) placePlain(b BatchJob) {
+	pl := l.d.plan(b)
+	if pl.p < 0 {
+		l.failSlot(b, pl.reason)
+		return
+	}
+	l.commitSlot(b, pl)
+}
+
+// bestPreemptive returns the feasible pipeline on which b would start
+// earliest if every strictly-lower-priority unstarted slot there were
+// evicted, with that start time. Started slots never move: preemption acts
+// only at batch boundaries.
+func (l *eventLoop) bestPreemptive(b BatchJob) (int, float64) {
+	n := len(b.JobIDs)
+	best, bestStart := -1, math.Inf(1)
+	for p := range l.d.fleet {
+		rep := l.d.report(p, b.Class, n)
+		if rep.OOM || rep.Batch < 1 {
+			continue
+		}
+		prevFinish := l.floors[p]
+		for _, s := range l.chains[p] {
+			switch {
+			case s.start <= l.now:
+				prevFinish = s.finish // started: immovable
+			case s.b.Priority >= b.Priority:
+				st := math.Max(s.b.ReleaseSec, prevFinish) // survivor, shifted up
+				prevFinish = st + s.rep.execSec
+			}
+			// Strictly-lower-priority unstarted slots would be evicted.
+		}
+		if est := math.Max(b.ReleaseSec, prevFinish); est < bestStart {
+			best, bestStart = p, est
+		}
+	}
+	return best, bestStart
+}
+
+// preemptInto evicts every strictly-lower-priority unstarted slot on
+// pipeline p, re-times the survivors, places b at the end of the compacted
+// chain, and re-dispatches the evicted batches at the current instant —
+// work is displaced, never lost.
+func (l *eventLoop) preemptInto(p int, b BatchJob) {
+	var kept, evicted []*slot
+	for _, s := range l.chains[p] {
+		if s.start > l.now && s.b.Priority < b.Priority {
+			s.evicted = true
+			evicted = append(evicted, s)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	l.chains[p] = kept
+	l.recompute(p)
+
+	n := len(b.JobIDs)
+	rep := l.d.report(p, b.Class, n)
+	sec := l.d.execSec(p, b.Class, n, rep)
+	start := math.Max(b.ReleaseSec, l.d.freeAt[p])
+	l.commitSlot(b, placement{p: p, rep: rep, sec: sec, start: start})
+
+	for _, ev := range evicted {
+		l.tally.batches++
+		l.tally.jobs += len(ev.b.JobIDs)
+		l.tally.byPrio[ev.b.Priority] += len(ev.b.JobIDs)
+	}
+	for _, ev := range evicted {
+		nb := ev.b
+		nb.ReleaseSec = l.now
+		l.placePlain(nb)
+	}
+}
+
+// recompute re-times pipeline p's unstarted suffix after an eviction:
+// survivors shift up to max(their release, predecessor finish), and the
+// pipeline clock tracks the new chain end.
+func (l *eventLoop) recompute(p int) {
+	prevFinish := l.floors[p]
+	for _, s := range l.chains[p] {
+		if s.start <= l.now {
+			prevFinish = s.finish
+			continue
+		}
+		s.start = math.Max(s.b.ReleaseSec, prevFinish)
+		s.finish = s.start + s.rep.execSec
+		prevFinish = s.finish
+	}
+	l.d.freeAt[p] = prevFinish
+}
+
+// ripe reports whether a queue may dispatch now (continuous mode): a full
+// batch is waiting, the oldest member's max wait expired, or — under
+// preemption — a member's start deadline arrived.
+func (l *eventLoop) ripe(q *classQueue) bool {
+	if len(q.reqs) >= l.cfg.Admission.MaxBatch {
+		return true
+	}
+	if q.waitDeadline(l.cfg.Admission.MaxWaitSec) <= l.now {
+		return true
+	}
+	return l.cfg.Admission.Preemption && q.minStartDeadline() <= l.now
+}
+
+// ripeQueues returns the dispatchable queues in scheduling order: priority
+// first, then oldest waiting head, then class key order.
+func (l *eventLoop) ripeQueues() []*classQueue {
+	var qs []*classQueue
+	for _, q := range l.queues {
+		if len(q.reqs) > 0 && l.ripe(q) {
+			qs = append(qs, q)
+		}
+	}
+	sort.Slice(qs, func(i, j int) bool {
+		a, b := qs[i], qs[j]
+		if a.key.priority != b.key.priority {
+			return a.key.priority > b.key.priority
+		}
+		if a.reqs[0].ArrivalSec != b.reqs[0].ArrivalSec {
+			return a.reqs[0].ArrivalSec < b.reqs[0].ArrivalSec
+		}
+		return a.key.cmp(b.key) < 0
+	})
+	return qs
+}
+
+// tryDispatch is the continuous-batching scheduler: while an idle pipeline
+// can take a ripe queue's batch, re-pack up to MaxBatch of its oldest
+// requests and start them immediately. Batches are therefore formed at
+// dispatch time — a pipeline freeing early picks up whatever has queued
+// since, instead of a stale admission-time batch.
+func (l *eventLoop) tryDispatch() {
+	if !l.cfg.Admission.ContinuousBatching {
+		return
+	}
+	for {
+		placed := false
+		for _, q := range l.ripeQueues() {
+			n := len(q.reqs)
+			if n > l.cfg.Admission.MaxBatch {
+				n = l.cfg.Admission.MaxBatch
+			}
+			b := makeBatch(q.key, q.reqs[:n], l.now)
+			pl, feasible := l.d.planIdle(b, l.now)
+			if pl.p < 0 {
+				if feasible {
+					continue // every feasible pipeline is busy: wait for a free event
+				}
+				l.takeFromQueue(q, n)
+				l.failSlot(b, pl.reason)
+				placed = true
+				break
+			}
+			l.takeFromQueue(q, n)
+			s := l.commitSlot(b, pl)
+			l.push(event{at: s.finish, kind: evFree})
+			placed = true
+			break
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+// takeFromQueue removes the queue's n oldest requests and re-arms its
+// max-wait timer for the new head.
+func (l *eventLoop) takeFromQueue(q *classQueue, n int) {
+	q.reqs = append([]Request(nil), q.reqs[n:]...)
+	if len(q.reqs) > 0 {
+		dl := q.waitDeadline(l.cfg.Admission.MaxWaitSec)
+		at := dl
+		if at < l.now {
+			at = l.now
+		}
+		l.push(event{at: at, kind: evTimeout, key: q.key, dl: dl})
+	}
+}
+
+// Run drains a timestamped trace through the fleet: the full discrete-event
+// loop of arrivals, per-priority-class queues, batch formation (at admission
+// or, with continuous batching, at dispatch) and policy placement, with
+// deadline-aware preemption when enabled. Requests are processed in arrival
+// order (ties by ID); expired wait timeouts fire, in deadline order, before
+// any later arrival is admitted, and remaining queues flush at their
+// deadlines after the trace ends. The result is identical run to run.
+func Run(cfg Config, reqs []Request) (Summary, error) {
+	if err := cfg.Admission.validate(); err != nil {
+		return Summary{}, err
+	}
+	if len(reqs) == 0 {
+		return Summary{}, fmt.Errorf("cluster: empty trace")
+	}
+	d, err := newDispatcher(cfg.Model, cfg.Fleet, cfg.Policy)
+	if err != nil {
+		return Summary{}, err
+	}
+
+	sorted := make([]Request, len(reqs))
+	copy(sorted, reqs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].ArrivalSec != sorted[j].ArrivalSec {
+			return sorted[i].ArrivalSec < sorted[j].ArrivalSec
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	for _, r := range sorted {
+		if r.ArrivalSec < 0 || math.IsInf(r.ArrivalSec, 0) || math.IsNaN(r.ArrivalSec) {
+			return Summary{}, fmt.Errorf("cluster: arrival time %g for request %d is not finite and ≥ 0", r.ArrivalSec, r.ID)
+		}
+		if r.Priority < 0 {
+			return Summary{}, fmt.Errorf("cluster: priority %d for request %d is negative", r.Priority, r.ID)
+		}
+		if r.DeadlineSec < 0 || math.IsInf(r.DeadlineSec, 0) || math.IsNaN(r.DeadlineSec) {
+			return Summary{}, fmt.Errorf("cluster: deadline %g for request %d is not finite and ≥ 0", r.DeadlineSec, r.ID)
+		}
+	}
+
+	// Prewarm the dominant shapes (every distinct class shape at the target
+	// batch size on every pipeline) concurrently; odd tail sizes simulate
+	// lazily on the event loop.
+	var shapes []prewarmShape
+	seenClass := map[workload.Class]bool{}
+	for _, r := range sorted {
+		if seenClass[r.Class] {
+			continue
+		}
+		seenClass[r.Class] = true
+		for p := range cfg.Fleet {
+			shapes = append(shapes, prewarmShape{p: p, c: r.Class, size: cfg.Admission.MaxBatch})
+		}
+	}
+	d.prewarm(shapes)
+
+	l := &eventLoop{
+		cfg:    cfg,
+		d:      d,
+		queues: map[queueKey]*classQueue{},
+		chains: make([][]*slot, len(cfg.Fleet)),
+		floors: make([]float64, len(cfg.Fleet)),
+		tally:  preemptTally{byPrio: map[int]int{}},
+	}
+	for _, r := range sorted {
+		l.push(event{at: r.ArrivalSec, kind: evArrival, req: r})
+	}
+	l.run()
+
+	asgs := make([]Assignment, 0, len(l.order))
+	for _, s := range l.order {
+		if s.evicted {
+			continue
+		}
+		if s.pipe < 0 {
+			asgs = append(asgs, Assignment{Batch: s.b, Pipeline: -1, Reason: s.reason})
+			continue
+		}
+		asgs = append(asgs, Assignment{
+			Batch: s.b, Pipeline: s.pipe,
+			StartSec: s.start, FinishSec: s.finish,
+			Report: s.rep.rep,
+		})
+	}
+	return summarize(cfg, sorted, asgs, l.rejected, sorted[0].ArrivalSec, l.tally), nil
+}

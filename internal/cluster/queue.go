@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/workload"
+)
+
+// queueKey identifies one admission queue: a priority class over one request
+// shape. Queues key on the full class shape, not just the name, because a
+// replayed trace may reuse one label for different request shapes, and
+// merging those into one batch would simulate them at the wrong shape.
+type queueKey struct {
+	priority int
+	class    workload.Class
+}
+
+// cmp orders keys for deterministic scheduling: higher priority first, then
+// class name, then shape. With a single priority class this degenerates to
+// the pre-priority ordering (name, input, output).
+func (k queueKey) cmp(o queueKey) int {
+	switch {
+	case k.priority != o.priority:
+		if k.priority > o.priority {
+			return -1
+		}
+		return 1
+	case k.class.Name != o.class.Name:
+		if k.class.Name < o.class.Name {
+			return -1
+		}
+		return 1
+	case k.class.Input != o.class.Input:
+		if k.class.Input < o.class.Input {
+			return -1
+		}
+		return 1
+	case k.class.Output != o.class.Output:
+		if k.class.Output < o.class.Output {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// classQueue is one per-priority-per-shape admission queue, FIFO in arrival
+// order.
+type classQueue struct {
+	key  queueKey
+	reqs []Request
+}
+
+// waitDeadline is when the oldest member's max-wait timeout fires.
+func (q *classQueue) waitDeadline(maxWait float64) float64 {
+	return q.reqs[0].ArrivalSec + maxWait
+}
+
+// minStartDeadline is the earliest absolute start deadline among queued
+// members, or +Inf when none carries one.
+func (q *classQueue) minStartDeadline() float64 {
+	min := math.Inf(1)
+	for _, r := range q.reqs {
+		if d := r.StartDeadline(); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Event kinds, in pop order at equal timestamps. Arrivals precede timeouts
+// so a request arriving at a queue's exact wait deadline still joins its
+// batch (the pre-event-loop admission semantics); deadline and pipeline-free
+// events follow.
+const (
+	evArrival = iota
+	evTimeout
+	evDeadline
+	evFree
+)
+
+// event is one entry on the simulated-clock event heap.
+type event struct {
+	at   float64
+	kind int
+	seq  int     // creation order: the final deterministic tie-break
+	req  Request // evArrival, evDeadline: the request involved
+	key  queueKey
+	dl   float64 // evTimeout: the head deadline the event was armed for
+}
+
+// eventHeap is a min-heap over (time, kind, queue order, sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.kind == evTimeout {
+		// Simultaneous timeouts fire in queue order, matching the old
+		// fireExpired tie-break on the class shape key.
+		if c := a.key.cmp(b.key); c != 0 {
+			return c < 0
+		}
+	}
+	return a.seq < b.seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"repro/internal/workload"
@@ -11,22 +12,28 @@ import (
 
 // Arrival-trace CSV format, one request per record:
 //
-//	arrival_sec,class[,input_tokens,output_tokens]
+//	arrival_sec,class[,input_tokens,output_tokens[,priority,deadline_sec]]
 //
 // The two-column form resolves class by its §6.6 name (Short/Medium/Long);
 // the four-column form carries an explicit request shape, so traces recorded
-// from other systems replay without mapping to the built-in classes. A
-// header row is skipped when the first field is not numeric.
+// from other systems replay without mapping to the built-in classes; the
+// six-column form adds the scheduling columns — an integer priority class
+// (higher is more urgent, 0 is the offline default) and a start deadline in
+// seconds after arrival (0 = none). Legacy two- and four-column traces parse
+// unchanged as priority-0, no-deadline requests. A header row is skipped
+// when the first field is not numeric.
 
 // ReadArrivalsCSV parses an arrival-trace CSV into timestamped requests,
 // sorted by arrival with IDs in file order.
 func ReadArrivalsCSV(r io.Reader) ([]workload.TimedRequest, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1 // validated per record: 2 or 4 fields
+	cr.FieldsPerRecord = -1 // validated per record: 2, 4 or 6 fields
 	cr.TrimLeadingSpace = true
 
 	var classes []workload.Class
 	var arrivals []float64
+	var priorities []int
+	var deadlines []float64
 	line := 0
 	for {
 		rec, err := cr.Read()
@@ -37,8 +44,8 @@ func ReadArrivalsCSV(r io.Reader) ([]workload.TimedRequest, error) {
 			return nil, fmt.Errorf("trace: %w", err)
 		}
 		line++
-		if len(rec) != 2 && len(rec) != 4 {
-			return nil, fmt.Errorf("trace: record %d has %d fields, want 2 or 4", line, len(rec))
+		if len(rec) != 2 && len(rec) != 4 && len(rec) != 6 {
+			return nil, fmt.Errorf("trace: record %d has %d fields, want 2, 4 or 6", line, len(rec))
 		}
 		if line == 1 && rec[0] == "arrival_sec" {
 			continue // the header WriteArrivalsCSV emits
@@ -62,24 +69,44 @@ func ReadArrivalsCSV(r io.Reader) ([]workload.TimedRequest, error) {
 			}
 			c = workload.Class{Name: rec[1], Input: in, Output: out}
 		}
+		prio, dl := 0, 0.0
+		if len(rec) == 6 {
+			prio, err = strconv.Atoi(rec[4])
+			if err != nil || prio < 0 {
+				return nil, fmt.Errorf("trace: record %d: bad priority %q (want integer ≥ 0)", line, rec[4])
+			}
+			dl, err = strconv.ParseFloat(rec[5], 64)
+			if err != nil || dl < 0 || math.IsInf(dl, 0) || math.IsNaN(dl) {
+				return nil, fmt.Errorf("trace: record %d: bad deadline %q (want finite seconds ≥ 0)", line, rec[5])
+			}
+		}
 		classes = append(classes, c)
 		arrivals = append(arrivals, at)
+		priorities = append(priorities, prio)
+		deadlines = append(deadlines, dl)
 	}
 	reqs, err := workload.Timed(classes, arrivals)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
+	// Timed sorts by arrival but assigns IDs in file order, so the ID
+	// indexes the parallel priority/deadline columns.
+	for i := range reqs {
+		reqs[i].Priority = priorities[reqs[i].ID]
+		reqs[i].DeadlineSec = deadlines[reqs[i].ID]
+	}
 	return reqs, nil
 }
 
-// WriteArrivalsCSV writes requests in the four-column format with a header,
-// so written traces round-trip through ReadArrivalsCSV.
+// WriteArrivalsCSV writes requests in the six-column format with a header,
+// so written traces round-trip through ReadArrivalsCSV, scheduling columns
+// included.
 func WriteArrivalsCSV(w io.Writer, reqs []workload.TimedRequest) error {
 	if len(reqs) == 0 {
 		return fmt.Errorf("trace: no requests")
 	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"arrival_sec", "class", "input_tokens", "output_tokens"}); err != nil {
+	if err := cw.Write([]string{"arrival_sec", "class", "input_tokens", "output_tokens", "priority", "deadline_sec"}); err != nil {
 		return err
 	}
 	for _, r := range reqs {
@@ -88,6 +115,8 @@ func WriteArrivalsCSV(w io.Writer, reqs []workload.TimedRequest) error {
 			r.Class.Name,
 			strconv.Itoa(r.Class.Input),
 			strconv.Itoa(r.Class.Output),
+			strconv.Itoa(r.Priority),
+			strconv.FormatFloat(r.DeadlineSec, 'g', -1, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -43,12 +43,95 @@ func TestReadArrivalsCSVFourColumnNoHeader(t *testing.T) {
 	}
 }
 
+// The six-column form carries scheduling columns; legacy records in the
+// same file (mixed widths) parse as priority-0 no-deadline requests.
+func TestReadArrivalsCSVSixColumn(t *testing.T) {
+	in := "arrival_sec,class,input_tokens,output_tokens,priority,deadline_sec\n" +
+		"0.5,online,256,100,2,15\n" +
+		"1.5,offline,8192,350,0,0\n"
+	reqs, err := ReadArrivalsCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("got %d requests, want 2", len(reqs))
+	}
+	if reqs[0].Priority != 2 || reqs[0].DeadlineSec != 15 {
+		t.Errorf("online request scheduling columns %+v", reqs[0])
+	}
+	if reqs[1].Priority != 0 || reqs[1].DeadlineSec != 0 {
+		t.Errorf("offline request scheduling columns %+v", reqs[1])
+	}
+	if reqs[0].Class.Input != 256 || reqs[1].Class.Output != 350 {
+		t.Errorf("shapes lost: %+v / %+v", reqs[0].Class, reqs[1].Class)
+	}
+}
+
+// Legacy traces (two- and four-column, the pre-scheduling formats) must
+// still parse, as priority-0 requests without deadlines.
+func TestReadArrivalsCSVLegacyFormats(t *testing.T) {
+	for name, in := range map[string]string{
+		"two-column":  "0.5,Short\n1.5,Long\n",
+		"four-column": "arrival_sec,class,input_tokens,output_tokens\n0.5,c,100,10\n1.5,c,200,20\n",
+	} {
+		reqs, err := ReadArrivalsCSV(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, r := range reqs {
+			if r.Priority != 0 || r.DeadlineSec != 0 {
+				t.Errorf("%s: request %d gained scheduling metadata: %+v", name, i, r)
+			}
+		}
+	}
+}
+
+// The scheduling columns must round-trip: IDs are assigned in file order
+// while requests sort by arrival, so the columns must follow the request,
+// not the row position.
+func TestArrivalsCSVSchedulingRoundTrip(t *testing.T) {
+	orig := []workload.TimedRequest{
+		{ID: 0, Class: workload.Long, ArrivalSec: 3, Priority: 0, DeadlineSec: 0},
+		{ID: 1, Class: workload.Short, ArrivalSec: 1, Priority: 2, DeadlineSec: 7.5},
+		{ID: 2, Class: workload.Medium, ArrivalSec: 2, Priority: 1, DeadlineSec: 30},
+	}
+	var buf bytes.Buffer
+	if err := WriteArrivalsCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArrivalsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round trip %d → %d requests", len(orig), len(back))
+	}
+	// Writer emits in the given (arrival-sorted would differ) order; reader
+	// re-sorts by arrival and assigns IDs in file order.
+	byArrival := map[float64]workload.TimedRequest{}
+	for _, r := range orig {
+		byArrival[r.ArrivalSec] = r
+	}
+	for _, r := range back {
+		want := byArrival[r.ArrivalSec]
+		if r.Priority != want.Priority || r.DeadlineSec != want.DeadlineSec || r.Class != want.Class {
+			t.Errorf("request at t=%v changed in round trip: %+v vs %+v", r.ArrivalSec, r, want)
+		}
+	}
+}
+
 func TestReadArrivalsCSVErrors(t *testing.T) {
 	for name, in := range map[string]string{
 		"unknown class":   "0.5,Gigantic\n",
 		"bad arrival":     "0.5,Short\nx,Short\n",
 		"bad shape":       "0.5,c,0,10\n",
 		"field count":     "0.5,Short,256\n",
+		"five fields":     "0.5,c,256,100,1\n",
+		"bad priority":    "0.5,c,256,100,x,0\n",
+		"neg priority":    "0.5,c,256,100,-1,0\n",
+		"bad deadline":    "0.5,c,256,100,1,x\n",
+		"neg deadline":    "0.5,c,256,100,1,-5\n",
+		"inf deadline":    "0.5,c,256,100,1,+Inf\n",
 		"empty":           "",
 		"header only":     "arrival_sec,class\n",
 		"negative":        "-1,Short\n",

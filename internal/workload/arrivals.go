@@ -9,11 +9,30 @@ import (
 
 // TimedRequest is one request with an arrival timestamp — the unit of work
 // the cluster admission layer operates on. Offline backlogs are the special
-// case where every arrival is 0.
+// case where every arrival is 0, every priority is 0 and no deadline is set.
 type TimedRequest struct {
 	ID         int
 	Class      Class
 	ArrivalSec float64
+	// Priority ranks scheduling urgency; higher values are served first.
+	// 0 is the offline default, so untagged traces behave exactly as
+	// before priorities existed.
+	Priority int
+	// DeadlineSec is the request's queueing budget: it should start
+	// executing within DeadlineSec of its arrival. 0 means no deadline
+	// (pure offline work). The scheduler treats deadlines as preemption
+	// triggers, not admission guarantees — a missed deadline is reported,
+	// never dropped.
+	DeadlineSec float64
+}
+
+// StartDeadline returns the absolute time by which the request should start,
+// or +Inf when it carries no deadline.
+func (r TimedRequest) StartDeadline() float64 {
+	if r.DeadlineSec <= 0 {
+		return math.Inf(1)
+	}
+	return r.ArrivalSec + r.DeadlineSec
 }
 
 // PoissonArrivals returns n arrival timestamps of a homogeneous Poisson
@@ -52,6 +71,60 @@ func UniformArrivals(ratePerSec float64, n int) ([]float64, error) {
 		out[i] = float64(i+1) / ratePerSec
 	}
 	return out, nil
+}
+
+// MMPPArrivals returns n arrival timestamps of a two-state Markov-modulated
+// Poisson process: the process alternates between a quiet state (rate
+// quietRate, mean sojourn meanQuietSec) and a burst state (rate burstRate,
+// mean sojourn meanBurstSec), with exponentially distributed sojourn times.
+// It starts in the quiet state. The same seed always yields the same trace,
+// so bursty-workload studies are reproducible run to run.
+func MMPPArrivals(seed int64, quietRate, burstRate, meanQuietSec, meanBurstSec float64, n int) ([]float64, error) {
+	if quietRate <= 0 || burstRate <= 0 {
+		return nil, fmt.Errorf("workload: MMPP rates must be positive, got %g and %g", quietRate, burstRate)
+	}
+	if meanQuietSec <= 0 || meanBurstSec <= 0 {
+		return nil, fmt.Errorf("workload: MMPP mean sojourns must be positive, got %g and %g", meanQuietSec, meanBurstSec)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("workload: arrival count must be ≥ 1, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rate := [2]float64{quietRate, burstRate}
+	mean := [2]float64{meanQuietSec, meanBurstSec}
+	state := 0
+	t := 0.0
+	left := rng.ExpFloat64() * mean[state] // time left in the current state
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		gap := rng.ExpFloat64() / rate[state]
+		if gap < left {
+			t += gap
+			left -= gap
+			out = append(out, t)
+			continue
+		}
+		// The state flips before the next arrival: advance to the switch
+		// point and redraw (both distributions are memoryless, so
+		// discarding the stale gap preserves the process).
+		t += left
+		state = 1 - state
+		left = rng.ExpFloat64() * mean[state]
+	}
+	return out, nil
+}
+
+// BurstyArrivals returns n arrivals of a day-night-style bursty process with
+// the given long-run mean rate: a two-state MMPP spending 80% of its time in
+// a quiet state at rate/4 and 20% in bursts at 4×rate (mean burst 10/rate
+// seconds, mean quiet spell 40/rate), so the time-averaged rate equals
+// ratePerSec while individual bursts arrive an order of magnitude faster
+// than the quiet floor. Deterministic per seed.
+func BurstyArrivals(seed int64, ratePerSec float64, n int) ([]float64, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate must be positive, got %g", ratePerSec)
+	}
+	return MMPPArrivals(seed, ratePerSec/4, 4*ratePerSec, 40/ratePerSec, 10/ratePerSec, n)
 }
 
 // Timed pairs a class trace with arrival timestamps (replaying a recorded

@@ -69,6 +69,82 @@ func TestUniformArrivals(t *testing.T) {
 	}
 }
 
+// Bursty arrivals: deterministic per seed, strictly increasing, with the
+// requested long-run mean rate but markedly more inter-arrival variance
+// than a Poisson process (CV > 1 is the definition of bursty).
+func TestBurstyArrivals(t *testing.T) {
+	const rate, n = 2.0, 20000
+	a, err := BurstyArrivals(9, rate, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BurstyArrivals(9, rate, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs between identically seeded runs", i)
+		}
+		if a[i] <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %v after %v", i, a[i], prev)
+		}
+		prev = a[i]
+	}
+	got := float64(n) / a[n-1]
+	if rel := math.Abs(got-rate) / rate; rel > 0.15 {
+		t.Errorf("empirical rate %.3f req/s, want %.3f ±15%%", got, rate)
+	}
+	// Coefficient of variation of inter-arrival gaps: 1 for Poisson,
+	// substantially above 1 for a two-state MMPP with a 16× rate ratio.
+	var sum, sumSq float64
+	gaps := make([]float64, n)
+	last := 0.0
+	for i, x := range a {
+		gaps[i] = x - last
+		last = x
+		sum += gaps[i]
+	}
+	mean := sum / float64(n)
+	for _, g := range gaps {
+		sumSq += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(sumSq/float64(n)) / mean
+	if cv < 1.2 {
+		t.Errorf("inter-arrival CV %.3f, want > 1.2 (burstier than Poisson)", cv)
+	}
+}
+
+func TestMMPPArrivalsErrors(t *testing.T) {
+	if _, err := MMPPArrivals(1, 0, 1, 1, 1, 10); err == nil {
+		t.Error("zero quiet rate accepted")
+	}
+	if _, err := MMPPArrivals(1, 1, -1, 1, 1, 10); err == nil {
+		t.Error("negative burst rate accepted")
+	}
+	if _, err := MMPPArrivals(1, 1, 1, 0, 1, 10); err == nil {
+		t.Error("zero sojourn accepted")
+	}
+	if _, err := MMPPArrivals(1, 1, 1, 1, 1, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := BurstyArrivals(1, 0, 10); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+// The deadline helper: absolute start deadline, or +Inf when unset.
+func TestStartDeadline(t *testing.T) {
+	r := TimedRequest{ArrivalSec: 5, DeadlineSec: 10}
+	if got := r.StartDeadline(); got != 15 {
+		t.Errorf("start deadline %v, want 15", got)
+	}
+	if got := (TimedRequest{ArrivalSec: 5}).StartDeadline(); !math.IsInf(got, 1) {
+		t.Errorf("unset deadline %v, want +Inf", got)
+	}
+}
+
 func TestArrivalErrors(t *testing.T) {
 	if _, err := PoissonArrivals(1, 0, 10); err == nil {
 		t.Error("zero rate accepted")
