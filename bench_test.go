@@ -1,6 +1,7 @@
 package hilos
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/longbench"
 	"repro/internal/model"
 	"repro/internal/pipeline"
+	"repro/internal/repcache"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 )
@@ -29,8 +31,13 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	r := experiments.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Cold cache per iteration: each op measures full table generation
+		// (cross-point dedup included), independent of b.N and of which
+		// benchmarks ran earlier in the process.
+		repcache.Reset()
 		tab := g.Run(r)
 		if len(tab.Rows) == 0 {
 			b.Fatalf("%s produced no rows", id)
@@ -64,6 +71,7 @@ func BenchmarkExtFTL(b *testing.B)               { benchExperiment(b, "ext-ftl")
 func BenchmarkFig18cAccuracy(b *testing.B) {
 	task := longbench.Suite()[2] // the 1K-context task
 	task.Samples = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := task.Score(int64(i), longbench.Blocked); err != nil {
@@ -74,17 +82,26 @@ func BenchmarkFig18cAccuracy(b *testing.B) {
 
 // --- Micro-benchmarks of the functional and timing substrates.
 
-func BenchmarkBlockedAttention4K(b *testing.B) {
+func benchBlockedAttention(b *testing.B, seq int) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	q := tensor.RandMat(rng, 1, 128, 1)
-	k := tensor.RandMat(rng, 4096, 128, 1)
-	v := tensor.RandMat(rng, 4096, 128, 1)
-	b.SetBytes(int64(2 * 4096 * 128 * 2))
+	k := tensor.RandMat(rng, seq, 128, 1)
+	v := tensor.RandMat(rng, seq, 128, 1)
+	b.SetBytes(int64(2 * seq * 128 * 2))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		attention.Blocked(q, k, v, nil, 128)
 	}
 }
+
+func BenchmarkBlockedAttention4K(b *testing.B) { benchBlockedAttention(b, 4096) }
+
+// BenchmarkBlockedAttention64K exposes kernel scaling with context length:
+// ns/op should grow linearly from the 4K case and allocs/op stay flat (the
+// score scratch and partial are reused across blocks).
+func BenchmarkBlockedAttention64K(b *testing.B) { benchBlockedAttention(b, 64*1024) }
 
 func BenchmarkAcceleratorAttention4K(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
@@ -96,6 +113,7 @@ func BenchmarkAcceleratorAttention4K(b *testing.B) {
 	k := tensor.RandMat(rng, 4096, 128, 1)
 	v := tensor.RandMat(rng, 4096, 128, 1)
 	b.SetBytes(int64(2 * 4096 * 128 * 2))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := a.Attention(q, k, v, nil, tensor.Mat{}, tensor.Mat{}); err != nil {
@@ -111,9 +129,84 @@ func BenchmarkTwoPassSoftmax(b *testing.B) {
 		x[i] = float32(rng.NormFloat64() * 4)
 	}
 	b.SetBytes(int64(len(x) * 4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		attention.SoftmaxTwoPass(x, nil, 128)
+	}
+}
+
+// naivePartialAddToken is the pre-optimization AddToken retained for the
+// micro-benchmark delta: it converted the accumulator through float64 on
+// every element of the rescale and accumulate loops.
+func naivePartialAddToken(p *attention.Partial, score float32, vrow []float32) {
+	s := float64(score)
+	if s > p.Stats.M {
+		r := math.Exp(p.Stats.M - s)
+		for i := range p.Acc {
+			p.Acc[i] = float32(float64(p.Acc[i]) * r)
+		}
+		p.Stats.Z = p.Stats.Z * r
+		p.Stats.M = s
+	}
+	w := math.Exp(s - p.Stats.M)
+	p.Stats.Z += w
+	for i := range p.Acc {
+		p.Acc[i] += float32(w * float64(vrow[i]))
+	}
+}
+
+func benchPartialTokens(b *testing.B, add func(p *attention.Partial, s float32, vrow []float32)) {
+	b.Helper()
+	const seq, dv = 4096, 128
+	rng := rand.New(rand.NewSource(4))
+	scores := make([]float32, seq)
+	for i := range scores {
+		scores[i] = float32(rng.NormFloat64() * 3)
+	}
+	v := tensor.RandMat(rng, seq, dv, 1)
+	p := attention.NewPartial(dv)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		for j, s := range scores {
+			add(&p, s, v.Row(j))
+		}
+	}
+}
+
+// BenchmarkPartialAddToken vs BenchmarkPartialAddTokenNaive shows the
+// ns-per-token win from hoisting the float64↔float32 conversions out of the
+// accumulator loops (4096 tokens × 128 dims per op).
+func BenchmarkPartialAddToken(b *testing.B) {
+	benchPartialTokens(b, func(p *attention.Partial, s float32, vrow []float32) {
+		p.AddToken(s, vrow)
+	})
+}
+
+func BenchmarkPartialAddTokenNaive(b *testing.B) {
+	benchPartialTokens(b, naivePartialAddToken)
+}
+
+// BenchmarkPartialAddBlock folds the same tokens through the block-level
+// streaming update (one accumulator rescale per 128-token block).
+func BenchmarkPartialAddBlock(b *testing.B) {
+	const seq, dv, bs = 4096, 128, 128
+	rng := rand.New(rand.NewSource(4))
+	scores := make([]float32, seq)
+	for i := range scores {
+		scores[i] = float32(rng.NormFloat64() * 3)
+	}
+	v := tensor.RandMat(rng, seq, dv, 1)
+	p := attention.NewPartial(dv)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		for lo := 0; lo < seq; lo += bs {
+			p.AddBlock(scores[lo:lo+bs], v, lo)
+		}
 	}
 }
 
@@ -144,22 +237,45 @@ func BenchmarkBaselineDecodeStep(b *testing.B) {
 	}
 }
 
-func BenchmarkSchedulerListScheduling(b *testing.B) {
+// schedulerWorkload builds the 5000-task two-resource pipeline graph both
+// scheduler benchmarks share; run selects the heap event loop or the
+// retained O(n²) reference, and timeline toggles the TaskRecord opt-out.
+func schedulerWorkload(b *testing.B, run func(e *sim.Engine) sim.Result, timeline bool) {
+	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := sim.NewEngine()
+		e.RecordTimeline(timeline)
 		r1 := e.Resource("a", 10)
 		r2 := e.Resource("b", 5)
 		var prev *sim.Task
-		for l := 0; l < 500; l++ {
+		for l := 0; l < 2500; l++ {
 			t1 := e.Task("x", r1, 3, prev)
 			prev = e.Task("y", r2, 2, t1)
 		}
-		e.Run()
+		run(e)
 	}
 }
 
+func BenchmarkSchedulerListScheduling(b *testing.B) {
+	schedulerWorkload(b, func(e *sim.Engine) sim.Result { return e.Run() }, true)
+}
+
+// BenchmarkSchedulerListSchedulingReference measures the retained O(n²)
+// scheduler on the same graph; the ratio to BenchmarkSchedulerListScheduling
+// is the machine-independent speedup cmd/hilos-bench -bench-check guards.
+func BenchmarkSchedulerListSchedulingReference(b *testing.B) {
+	schedulerWorkload(b, func(e *sim.Engine) sim.Result { return e.RunReference() }, true)
+}
+
+// BenchmarkSchedulerNoTimeline measures the heap scheduler with the
+// per-task TaskRecord append opted out.
+func BenchmarkSchedulerNoTimeline(b *testing.B) {
+	schedulerWorkload(b, func(e *sim.Engine) sim.Result { return e.Run() }, false)
+}
+
 func BenchmarkEstimatorSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := estimator.Sweep()
 		if _, err := estimator.Correlation(pts); err != nil {
@@ -170,6 +286,7 @@ func BenchmarkEstimatorSweep(b *testing.B) {
 
 func BenchmarkCycleModelKernelTime(b *testing.B) {
 	cm := accel.DefaultCycleModel(5, 128)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if cm.KernelTime(131072) <= 0 {
 			b.Fatal("non-positive kernel time")

@@ -7,22 +7,187 @@
 //	hilos-bench                 # run everything in paper order
 //	hilos-bench -only fig10     # run one experiment
 //	hilos-bench -list           # list experiment identifiers
+//
+// It is also the benchmark bookkeeping tool behind BENCH_*.json: piping the
+// output of `go test -run '^$' -bench . -benchmem` into -bench-json parses
+// the suite into a {name → ns/op, allocs/op, bytes/op} snapshot, and
+// -bench-baseline guards the scheduler against regressions:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . |
+//	    hilos-bench -bench-json BENCH_PR4.json
+//	go test -run '^$' -bench Scheduler -benchtime 20x -benchmem . |
+//	    hilos-bench -bench-json /dev/null -bench-baseline BENCH_PR4.json
+//
+// The guard compares the machine-independent ratio of
+// BenchmarkSchedulerListScheduling to its retained O(n²) reference
+// (BenchmarkSchedulerListSchedulingReference): the run fails if the current
+// ratio regresses more than -max-regress over the baseline's ratio, or if
+// the event-driven scheduler is no longer at least 5x faster than the
+// reference (the PR 4 acceptance floor).
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
+	"strconv"
 	"strings"
 	"time"
 
 	hilos "repro"
 )
 
+// benchResult is one benchmark's recorded measurements.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// benchFile is the BENCH_*.json schema.
+type benchFile struct {
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// measurements.
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+const (
+	schedBench    = "BenchmarkSchedulerListScheduling"
+	schedRefBench = "BenchmarkSchedulerListSchedulingReference"
+	// minSpeedup is the acceptance floor: the event-driven scheduler must
+	// stay at least this many times faster than the retained reference.
+	minSpeedup = 5.0
+)
+
+// benchLine matches `go test -bench` result lines, e.g.
+// "BenchmarkFoo-8   	 100	  123 ns/op	  45 B/op	  6 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// parseBench reads `go test -bench` output and collects one result per
+// benchmark. Later lines override earlier ones, so a re-run of selected
+// benchmarks at a longer -benchtime can refine a full-suite pass.
+func parseBench(r io.Reader) (benchFile, error) {
+	out := benchFile{Benchmarks: map[string]benchResult{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return out, fmt.Errorf("hilos-bench: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		res := benchResult{NsPerOp: ns}
+		for _, field := range strings.Split(m[3], "\t") {
+			field = strings.TrimSpace(field)
+			switch {
+			case strings.HasSuffix(field, " B/op"):
+				res.BytesPerOp, _ = strconv.ParseFloat(strings.TrimSuffix(field, " B/op"), 64)
+			case strings.HasSuffix(field, " allocs/op"):
+				res.AllocsPerOp, _ = strconv.ParseFloat(strings.TrimSuffix(field, " allocs/op"), 64)
+			}
+		}
+		out.Benchmarks[m[1]] = res
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return out, fmt.Errorf("hilos-bench: no benchmark lines found on stdin")
+	}
+	return out, nil
+}
+
+// schedRatio returns ns(scheduler)/ns(reference) from a snapshot.
+func schedRatio(f benchFile) (float64, error) {
+	cur, ok := f.Benchmarks[schedBench]
+	if !ok {
+		return 0, fmt.Errorf("hilos-bench: %s missing", schedBench)
+	}
+	ref, ok := f.Benchmarks[schedRefBench]
+	if !ok {
+		return 0, fmt.Errorf("hilos-bench: %s missing", schedRefBench)
+	}
+	if ref.NsPerOp <= 0 {
+		return 0, fmt.Errorf("hilos-bench: non-positive reference timing %v", ref.NsPerOp)
+	}
+	return cur.NsPerOp / ref.NsPerOp, nil
+}
+
+// checkRegression enforces the scheduler guard against a baseline snapshot.
+func checkRegression(current, baseline benchFile, maxRegress float64) error {
+	cur, err := schedRatio(current)
+	if err != nil {
+		return err
+	}
+	base, err := schedRatio(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	fmt.Printf("scheduler/reference ratio: current %.4f (%.1fx speedup), baseline %.4f (%.1fx)\n",
+		cur, 1/cur, base, 1/base)
+	if cur > 1/minSpeedup {
+		return fmt.Errorf("hilos-bench: scheduler speedup %.2fx below the %.0fx acceptance floor", 1/cur, minSpeedup)
+	}
+	if cur > base*(1+maxRegress) {
+		return fmt.Errorf("hilos-bench: scheduler regressed: ratio %.4f exceeds baseline %.4f by more than %.0f%%",
+			cur, base, 100*maxRegress)
+	}
+	return nil
+}
+
+func runBenchMode(jsonOut, baselinePath string, maxRegress float64) error {
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d benchmark results to %s\n", len(current.Benchmarks), jsonOut)
+	}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		var baseline benchFile
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			return fmt.Errorf("hilos-bench: parsing baseline %s: %v", baselinePath, err)
+		}
+		if err := checkRegression(current, baseline, maxRegress); err != nil {
+			return err
+		}
+		fmt.Println("scheduler regression check passed")
+	}
+	return nil
+}
+
 func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. fig10)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output from stdin and write it as JSON to this path")
+	benchBaseline := flag.String("bench-baseline", "", "compare stdin's scheduler benchmarks against this BENCH_*.json baseline")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional regression of the scheduler/reference ratio")
 	flag.Parse()
+
+	if *benchJSON != "" || *benchBaseline != "" {
+		if err := runBenchMode(*benchJSON, *benchBaseline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println(strings.Join(hilos.ExperimentIDs(), "\n"))

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkBlockedAttention4K 	     200	    798511 ns/op	2626.33 MB/s	    1536 B/op	       3 allocs/op
+BenchmarkSchedulerListScheduling-8          	      20	   1699564 ns/op	 1905304 B/op	   15048 allocs/op
+BenchmarkSchedulerListSchedulingReference-8 	      20	  28862819 ns/op	 1906128 B/op	   10043 allocs/op
+BenchmarkCycleModelKernelTime 	35726197	        33.64 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
+	}
+	attn := f.Benchmarks["BenchmarkBlockedAttention4K"]
+	if attn.NsPerOp != 798511 || attn.BytesPerOp != 1536 || attn.AllocsPerOp != 3 {
+		t.Errorf("attention parse: %+v", attn)
+	}
+	// The GOMAXPROCS suffix must be stripped.
+	if _, ok := f.Benchmarks["BenchmarkSchedulerListScheduling"]; !ok {
+		t.Error("suffixed benchmark name not normalized")
+	}
+	// Fractional ns/op parses.
+	if cm := f.Benchmarks["BenchmarkCycleModelKernelTime"]; cm.NsPerOp != 33.64 {
+		t.Errorf("fractional ns/op = %v", cm.NsPerOp)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("empty benchmark output accepted")
+	}
+}
+
+func TestParseBenchLaterOverrides(t *testing.T) {
+	in := "BenchmarkX 	 1	 100 ns/op\nBenchmarkX-8 	 50	 200 ns/op\n"
+	f, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks["BenchmarkX"].NsPerOp != 200 {
+		t.Errorf("later run did not override: %v", f.Benchmarks["BenchmarkX"].NsPerOp)
+	}
+}
+
+func snapshot(sched, ref float64) benchFile {
+	return benchFile{Benchmarks: map[string]benchResult{
+		schedBench:    {NsPerOp: sched},
+		schedRefBench: {NsPerOp: ref},
+	}}
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := snapshot(1e6, 17e6) // baseline ratio ≈ 0.0588
+	cases := []struct {
+		name    string
+		current benchFile
+		ok      bool
+	}{
+		{"same speed", snapshot(1e6, 17e6), true},
+		{"faster", snapshot(0.5e6, 17e6), true},
+		{"within 20%", snapshot(1.1e6, 17e6), true},
+		{"regressed 50%", snapshot(1.5e6, 17e6), false},
+		{"below 5x floor", snapshot(5e6, 17e6), false},
+		{"reference missing", benchFile{Benchmarks: map[string]benchResult{schedBench: {NsPerOp: 1}}}, false},
+	}
+	for _, c := range cases {
+		err := checkRegression(c.current, base, 0.20)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

@@ -122,6 +122,53 @@
 // Simulator.RunBacklog, Simulator.EnergyPerToken) remain as deprecated
 // shims over the registry and behave identically.
 //
+// # Performance
+//
+// Every simulation bottoms out in internal/sim's Engine.Run, which
+// schedules the per-step task graph with a dependency-counting event loop
+// over indexed min-heaps: tasks become ready when their last dependency
+// finishes, each resource keeps its ready tasks in (earliest-start, id)
+// heaps, and a global candidate heap picks the next task — O((n+m)·log n)
+// for n tasks and m edges. The original O(n²) rescanning list scheduler is
+// retained as Engine.RunReference; a property test runs random DAGs
+// (barriers, pure-latency delays, fan-in/fan-out) through both and requires
+// bit-identical Results, so the rewrite is a pure speedup (≈17x at 5,000
+// tasks, see BENCH_PR4.json). Simulations whose timelines nobody reads can
+// call Engine.RecordTimeline(false) to skip the per-task TaskRecord append.
+//
+// The functional attention kernels follow the accelerator's true block
+// dataflow: Blocked/GQA/TopKBlocks reduce each K/V block's local softmax
+// statistics first (attention.Partial.AddBlock) and rescale the value
+// accumulator at most once per block — the §5.4 streaming update unit —
+// instead of once per token, reusing one score scratch buffer and partial
+// across query rows. Top-k retrieval selects through a bounded min-heap in
+// O(n·log k), reproducing the old O(n·k) selection's output exactly, and
+// tensor.Dot is unrolled four-wide over independent partial sums. All
+// optimized paths stay within the existing FP32 tolerances of the Ref
+// golden reference (and bit-exact where tests demand it, e.g. the X-cache
+// regeneration path).
+//
+// Experiment tables evaluate their sweep points concurrently on a bounded
+// worker pool with index-ordered assembly, so regenerated tables are
+// byte-identical to a sequential run. Independent points that hit the same
+// simulation share it through internal/repcache, a process-wide memoized
+// report cache keyed on the complete (testbed, request, options) input —
+// the generalization of the per-fleet memo inside the cluster dispatcher.
+//
+// BENCH_PR4.json records the whole benchmark suite (ns/op, allocs/op,
+// bytes/op). To regenerate it, pipe `go test -bench` output through
+// cmd/hilos-bench:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . > bench.out
+//	go test -run '^$' -bench Scheduler -benchtime 20x -benchmem . >> bench.out
+//	go run ./cmd/hilos-bench -bench-json BENCH_PR4.json < bench.out
+//
+// CI replays that recipe and fails if BenchmarkSchedulerListScheduling
+// regresses against the checked-in baseline (measured as the
+// machine-independent ratio to BenchmarkSchedulerListSchedulingReference;
+// 20% headroom by default, widened to 50% in CI for cross-runner
+// variance), or if the speedup falls below the hard 5x acceptance floor.
+//
 // See the examples directory for runnable walkthroughs and
 // DESIGN.md/EXPERIMENTS.md for the reproduction methodology.
 package hilos

@@ -76,22 +76,88 @@ func NewPartial(dv int) Partial {
 	return Partial{Stats: NewStats(), Acc: make([]float32, dv)}
 }
 
-// AddToken folds one (score, value-row) pair into the partial.
+// Reset returns the partial to the identity state, keeping its accumulator
+// storage so one Partial can serve many query rows without reallocating.
+func (p *Partial) Reset() {
+	p.Stats = NewStats()
+	for i := range p.Acc {
+		p.Acc[i] = 0
+	}
+}
+
+// AddToken folds one (score, value-row) pair into the partial. The running
+// statistics stay in float64 (matching the streaming update unit's wide
+// internal registers); the accumulator arithmetic is pure float32, with the
+// rescale and weight converted once per call rather than once per element.
 func (p *Partial) AddToken(score float32, vrow []float32) {
 	s := float64(score)
 	if s > p.Stats.M {
 		r := math.Exp(p.Stats.M - s)
+		r32 := float32(r)
 		for i := range p.Acc {
-			p.Acc[i] = float32(float64(p.Acc[i]) * r)
+			p.Acc[i] *= r32
 		}
 		p.Stats.Z = p.Stats.Z * r
 		p.Stats.M = s
 	}
 	w := math.Exp(s - p.Stats.M)
 	p.Stats.Z += w
+	w32 := float32(w)
 	for i := range p.Acc {
-		p.Acc[i] += float32(w * float64(vrow[i]))
+		p.Acc[i] += w32 * vrow[i]
 	}
+}
+
+// AddBlock folds a whole block of pre-masked scores and the matching value
+// rows v[lo:lo+len(scores)] into the partial. This is the accelerator's
+// true block dataflow (§5.4): the block's local statistics (the same
+// (mB, sB) pair BlockStats produces, reduced inline here so the local
+// weights need only one exponential pass) are folded into the running
+// statistics exactly as Stats.UpdateBlock does, the accumulator is rescaled
+// at most once per block (instead of once per token as repeated AddToken
+// calls would), and every weighted value row is then accumulated against
+// the settled running maximum.
+func (p *Partial) AddBlock(scores []float32, v tensor.Mat, lo int) {
+	if len(scores) == 0 {
+		return
+	}
+	// Local block reduction (Algorithm 1 lines 3-4): block maximum, then
+	// one exponential per element relative to it.
+	mB := math.Inf(-1)
+	for _, s := range scores {
+		if x := float64(s); x > mB {
+			mB = x
+		}
+	}
+	// Streaming fold (Algorithm 1 lines 5-9), with the accumulator rescale
+	// hoisted to at most one pass per block.
+	rescale := 1.0 // exp(mB − M) once the running maximum has settled
+	if mB > p.Stats.M {
+		r := math.Exp(p.Stats.M - mB)
+		r32 := float32(r)
+		for i := range p.Acc {
+			p.Acc[i] *= r32
+		}
+		p.Stats.Z = p.Stats.Z * r
+		p.Stats.M = mB
+	} else {
+		rescale = math.Exp(mB - p.Stats.M)
+	}
+	r32 := float32(rescale)
+	var sB float64
+	for j, s := range scores {
+		wl := math.Exp(float64(s) - mB)
+		sB += wl
+		w32 := float32(wl) * r32
+		if w32 == 0 {
+			continue
+		}
+		vrow := v.Row(lo + j)
+		for i := range p.Acc {
+			p.Acc[i] += w32 * vrow[i]
+		}
+	}
+	p.Stats.Z += sB * rescale
 }
 
 // Merge folds another partial (over a disjoint token range) into p.
@@ -104,15 +170,17 @@ func (p *Partial) Merge(o Partial) {
 	}
 	if o.Stats.M > p.Stats.M {
 		r := math.Exp(p.Stats.M - o.Stats.M)
+		r32 := float32(r)
 		for i := range p.Acc {
-			p.Acc[i] = float32(float64(p.Acc[i])*r + float64(o.Acc[i]))
+			p.Acc[i] = p.Acc[i]*r32 + o.Acc[i]
 		}
 		p.Stats.Z = p.Stats.Z*r + o.Stats.Z
 		p.Stats.M = o.Stats.M
 	} else {
 		r := math.Exp(o.Stats.M - p.Stats.M)
+		r32 := float32(r)
 		for i := range p.Acc {
-			p.Acc[i] += float32(float64(o.Acc[i]) * r)
+			p.Acc[i] += o.Acc[i] * r32
 		}
 		p.Stats.Z += o.Stats.Z * r
 	}
@@ -121,13 +189,24 @@ func (p *Partial) Merge(o Partial) {
 // Finalize returns the normalized attention output acc/Z.
 func (p Partial) Finalize() []float32 {
 	out := make([]float32, len(p.Acc))
-	if p.Stats.Z == 0 {
-		return out
-	}
-	for i, a := range p.Acc {
-		out[i] = float32(float64(a) / p.Stats.Z)
-	}
+	p.FinalizeInto(out)
 	return out
+}
+
+// FinalizeInto writes the normalized attention output acc/Z into dst,
+// avoiding Finalize's allocation on reused output rows. The division is
+// hoisted to one float64 reciprocal applied across the accumulator.
+func (p Partial) FinalizeInto(dst []float32) {
+	if p.Stats.Z == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	inv := 1 / p.Stats.Z
+	for i, a := range p.Acc {
+		dst[i] = float32(float64(a) * inv)
+	}
 }
 
 // PartialFromScores builds a partial for one query from precomputed scaled
@@ -145,9 +224,12 @@ func PartialFromScores(scores []float32, v tensor.Mat) Partial {
 }
 
 // Blocked computes attention with the accelerator's streaming block dataflow:
-// K/V are consumed in blocks of blockSize tokens, per-block statistics are
-// folded via the streaming update unit, and the value accumulator is rescaled
-// online. Output matches Ref within FP32 tolerance for any blockSize ≥ 1.
+// K/V are consumed in blocks of blockSize tokens, each block's local softmax
+// statistics are folded via the streaming update unit, and the value
+// accumulator is rescaled at most once per block (the true flash-attention
+// dataflow of §5.4, not a per-token rescale). One score scratch buffer and
+// one partial are reused across every query row and block. Output matches
+// Ref within FP32 tolerance for any blockSize ≥ 1.
 func Blocked(q, k, v tensor.Mat, mask []bool, blockSize int) tensor.Mat {
 	if blockSize <= 0 {
 		blockSize = 128
@@ -155,20 +237,27 @@ func Blocked(q, k, v tensor.Mat, mask []bool, blockSize int) tensor.Mat {
 	d := q.Cols
 	scale := float32(1 / math.Sqrt(float64(d)))
 	out := tensor.New(q.Rows, v.Cols)
+	sb := blockSize
+	if sb > k.Rows {
+		sb = k.Rows
+	}
+	scores := make([]float32, sb) // scratch shared across rows and blocks
+	p := NewPartial(v.Cols)
 	for qi := 0; qi < q.Rows; qi++ {
 		qrow := q.Row(qi)
-		p := NewPartial(v.Cols)
+		p.Reset()
 		for lo := 0; lo < k.Rows; lo += blockSize {
 			hi := lo + blockSize
 			if hi > k.Rows {
 				hi = k.Rows
 			}
+			blk := scores[:hi-lo]
 			for ki := lo; ki < hi; ki++ {
-				s := tensor.Dot(qrow, k.Row(ki)) * scale
-				p.AddToken(applyMask(s, mask, ki), v.Row(ki))
+				blk[ki-lo] = applyMask(tensor.Dot(qrow, k.Row(ki))*scale, mask, ki)
 			}
+			p.AddBlock(blk, v, lo)
 		}
-		copy(out.Row(qi), p.Finalize())
+		p.FinalizeInto(out.Row(qi))
 	}
 	return out
 }
@@ -190,18 +279,19 @@ func TopK(q, k, v tensor.Mat, mask []bool, kTop int) tensor.Mat {
 	d := q.Cols
 	scale := float32(1 / math.Sqrt(float64(d)))
 	out := tensor.New(q.Rows, v.Cols)
+	scores := make([]float32, k.Rows) // scratch shared across query rows
+	p := NewPartial(v.Cols)
 	for qi := 0; qi < q.Rows; qi++ {
 		qrow := q.Row(qi)
-		scores := make([]float32, k.Rows)
 		for ki := 0; ki < k.Rows; ki++ {
 			scores[ki] = applyMask(tensor.Dot(qrow, k.Row(ki))*scale, mask, ki)
 		}
 		keep := topKIndices(scores, kTop)
-		p := NewPartial(v.Cols)
+		p.Reset()
 		for _, ki := range keep {
 			p.AddToken(scores[ki], v.Row(ki))
 		}
-		copy(out.Row(qi), p.Finalize())
+		p.FinalizeInto(out.Row(qi))
 	}
 	return out
 }
@@ -221,13 +311,14 @@ func TopKBlocks(q, k, v tensor.Mat, mask []bool, keepBlocks, blockSize int) tens
 	scale := float32(1 / math.Sqrt(float64(d)))
 	nBlocks := (k.Rows + blockSize - 1) / blockSize
 	out := tensor.New(q.Rows, v.Cols)
+	scores := make([]float32, k.Rows) // scratch shared across query rows
+	blockScore := make([]float32, nBlocks)
+	p := NewPartial(v.Cols)
 	for qi := 0; qi < q.Rows; qi++ {
 		qrow := q.Row(qi)
-		scores := make([]float32, k.Rows)
 		for ki := 0; ki < k.Rows; ki++ {
 			scores[ki] = applyMask(tensor.Dot(qrow, k.Row(ki))*scale, mask, ki)
 		}
-		blockScore := make([]float32, nBlocks)
 		for b := 0; b < nBlocks; b++ {
 			lo, hi := b*blockSize, (b+1)*blockSize
 			if hi > k.Rows {
@@ -240,24 +331,25 @@ func TopKBlocks(q, k, v tensor.Mat, mask []bool, keepBlocks, blockSize int) tens
 			blockScore[b] = sum / float32(hi-lo)
 		}
 		keep := topKIndices(blockScore, keepBlocks)
-		p := NewPartial(v.Cols)
+		p.Reset()
 		for _, b := range keep {
 			lo, hi := b*blockSize, (b+1)*blockSize
 			if hi > k.Rows {
 				hi = k.Rows
 			}
-			for i := lo; i < hi; i++ {
-				p.AddToken(scores[i], v.Row(i))
-			}
+			p.AddBlock(scores[lo:hi], v, lo)
 		}
-		copy(out.Row(qi), p.Finalize())
+		p.FinalizeInto(out.Row(qi))
 	}
 	return out
 }
 
 // topKIndices returns the indices of the k largest scores (k clamped to
-// len(scores)) via selection over a copy; order of returned indices is
-// unspecified.
+// len(scores)), ordered by descending score with earlier indices first
+// among ties — the same order the old O(n·k) repeated-selection scan
+// produced. Selection runs over a bounded min-heap of size k: the heap
+// root is always the weakest kept candidate (lowest score; among equal
+// scores, the highest index), so a full scan costs O(n log k).
 func topKIndices(scores []float32, k int) []int {
 	if k >= len(scores) {
 		idx := make([]int, len(scores))
@@ -269,18 +361,50 @@ func topKIndices(scores []float32, k int) []int {
 	if k <= 0 {
 		return nil
 	}
-	// Simple O(n·k) selection: adequate for test-scale sequences.
-	keep := make([]int, 0, k)
-	used := make([]bool, len(scores))
-	for n := 0; n < k; n++ {
-		best, bi := float32(math.Inf(-1)), -1
-		for i, s := range scores {
-			if !used[i] && s > best {
-				best, bi = s, i
-			}
-		}
-		used[bi] = true
-		keep = append(keep, bi)
+	h := make([]int, 0, k)
+	// weaker orders candidates by (score asc, index desc): h[0] is the
+	// first candidate a better score should evict.
+	weaker := func(a, b int) bool {
+		return scores[a] < scores[b] || (scores[a] == scores[b] && a > b)
 	}
-	return keep
+	sift := func(i, n int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < n && weaker(h[l], h[m]) {
+				m = l
+			}
+			if r < n && weaker(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := range scores {
+		if len(h) < k {
+			h = append(h, i)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !weaker(h[c], h[p]) {
+					break
+				}
+				h[c], h[p] = h[p], h[c]
+				c = p
+			}
+		} else if weaker(h[0], i) {
+			h[0] = i
+			sift(0, k)
+		}
+	}
+	// Heap-sort into the selection order of the old implementation:
+	// descending score, ascending index among ties (weakest sinks last).
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		sift(0, n)
+	}
+	return h
 }

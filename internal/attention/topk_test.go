@@ -1,0 +1,153 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// topKIndicesSelect is the original O(n·k) repeated-selection implementation,
+// retained as the behavioral reference for the bounded-heap rewrite.
+func topKIndicesSelect(scores []float32, k int) []int {
+	if k >= len(scores) {
+		idx := make([]int, len(scores))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if k <= 0 {
+		return nil
+	}
+	keep := make([]int, 0, k)
+	used := make([]bool, len(scores))
+	for n := 0; n < k; n++ {
+		best, bi := float32(math.Inf(-1)), -1
+		for i, s := range scores {
+			if !used[i] && s > best {
+				best, bi = s, i
+			}
+		}
+		used[bi] = true
+		keep = append(keep, bi)
+	}
+	return keep
+}
+
+// TestTopKIndicesMatchesSelection: on random score vectors — including
+// heavily quantized ones that force score ties — the heap selection must
+// reproduce the old repeated-selection output exactly, order included
+// (descending score, earliest index among equals).
+func TestTopKIndicesMatchesSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		scores := make([]float32, n)
+		quant := rng.Intn(3) == 0 // every third trial: few distinct values
+		for i := range scores {
+			if quant {
+				scores[i] = float32(rng.Intn(4))
+			} else {
+				scores[i] = float32(rng.NormFloat64())
+			}
+		}
+		for _, k := range []int{0, 1, n / 3, n - 1, n, n + 5} {
+			got := topKIndices(scores, k)
+			want := topKIndicesSelect(scores, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d n=%d k=%d: %d indices, want %d", trial, n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d n=%d k=%d: index %d = %d, want %d (got %v want %v)",
+						trial, n, k, i, got[i], want[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAddBlockMatchesAddToken: folding a block at once (one accumulator
+// rescale) must agree with token-by-token folding within FP32 tolerance,
+// across block splits and score magnitudes.
+func TestAddBlockMatchesAddToken(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		s, dv := 1+rng.Intn(300), 1+rng.Intn(32)
+		scores := make([]float32, s)
+		for i := range scores {
+			scores[i] = float32(rng.NormFloat64() * 8)
+		}
+		v := tensor.RandMat(rng, s, dv, 1)
+
+		tok := NewPartial(dv)
+		for i, sc := range scores {
+			tok.AddToken(sc, v.Row(i))
+		}
+		blk := NewPartial(dv)
+		bs := 1 + rng.Intn(64)
+		for lo := 0; lo < s; lo += bs {
+			hi := lo + bs
+			if hi > s {
+				hi = s
+			}
+			blk.AddBlock(scores[lo:hi], v, lo)
+		}
+		ft, fb := tok.Finalize(), blk.Finalize()
+		for i := range ft {
+			if d := math.Abs(float64(ft[i]) - float64(fb[i])); d > tol {
+				t.Fatalf("trial %d s=%d bs=%d: output %d differs by %v", trial, s, bs, i, d)
+			}
+		}
+	}
+}
+
+// TestAddBlockEmptyAndReset: an empty block is the identity, and Reset
+// returns a used partial to the identity.
+func TestAddBlockEmptyAndReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	v := tensor.RandMat(rng, 4, 8, 1)
+	p := NewPartial(8)
+	p.AddBlock(nil, v, 0)
+	if !math.IsInf(p.Stats.M, -1) || p.Stats.Z != 0 {
+		t.Fatalf("empty block changed stats: %+v", p.Stats)
+	}
+	p.AddBlock([]float32{1, 2}, v, 0)
+	p.Reset()
+	if !math.IsInf(p.Stats.M, -1) || p.Stats.Z != 0 {
+		t.Fatalf("Reset left stats %+v", p.Stats)
+	}
+	for i, a := range p.Acc {
+		if a != 0 {
+			t.Fatalf("Reset left Acc[%d] = %v", i, a)
+		}
+	}
+}
+
+// TestFinalizeIntoMatchesFinalize covers the allocation-free finalize path.
+func TestFinalizeIntoMatchesFinalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	v := tensor.RandMat(rng, 10, 6, 1)
+	p := NewPartial(6)
+	for i := 0; i < 10; i++ {
+		p.AddToken(float32(rng.NormFloat64()), v.Row(i))
+	}
+	dst := []float32{9, 9, 9, 9, 9, 9}
+	p.FinalizeInto(dst)
+	want := p.Finalize()
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("FinalizeInto[%d] = %v, Finalize = %v", i, dst[i], want[i])
+		}
+	}
+	// Zero-statistics partial must clear dst, not keep stale values.
+	empty := NewPartial(6)
+	empty.FinalizeInto(dst)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatalf("empty FinalizeInto left dst[%d] = %v", i, dst[i])
+		}
+	}
+}

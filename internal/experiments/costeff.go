@@ -10,6 +10,7 @@ import (
 	"repro/internal/endurance"
 	"repro/internal/energy"
 	"repro/internal/model"
+	"repro/internal/repcache"
 	"repro/internal/workload"
 )
 
@@ -25,26 +26,30 @@ func (r Runner) Fig16a() Table {
 			"paper: H100 upgrade gives 1.39x speed but worse cost efficiency than HILOS",
 		},
 	}
+	var points []func() group
 	for _, gpu := range []device.GPUSpec{device.A100(), device.H100()} {
 		tb := r.TB
 		tb.GPU = gpu
 		for _, m := range []model.Config{model.OPT66B, model.OPT175B} {
 			for _, s := range []int{16384, 32768} {
-				req := request(m, 16, s)
-				flexPrice := cost.FlexSystem(gpu).PriceUSD(tb)
-				base := cost.Efficiency(baseline.FlexSSD(tb).Run(tb, req).DecodeTokPerSec(), flexPrice)
-				row := []string{gpu.Name, m.Name, fmt.Sprintf("%dK", s/1024), "1.00x"}
-				dram := baseline.FlexDRAM(tb).Run(tb, req)
-				row = append(row, ratioOrOOM(cost.Efficiency(dram.DecodeTokPerSec(), flexPrice), base, dram.OOM))
-				for _, n := range []int{4, 8, 16} {
-					h := core.Run(tb, req, core.DefaultOptions(n))
-					eff := cost.Efficiency(h.DecodeTokPerSec(), cost.HILOSSystem(gpu, n).PriceUSD(tb))
-					row = append(row, ratioOrOOM(eff, base, h.OOM))
-				}
-				t.Rows = append(t.Rows, row)
+				points = append(points, func() group {
+					req := request(m, 16, s)
+					flexPrice := cost.FlexSystem(gpu).PriceUSD(tb)
+					base := cost.Efficiency(repcache.FlexRun(tb, baseline.FlexSSD(tb), req).DecodeTokPerSec(), flexPrice)
+					row := []string{gpu.Name, m.Name, fmt.Sprintf("%dK", s/1024), "1.00x"}
+					dram := repcache.FlexRun(tb, baseline.FlexDRAM(tb), req)
+					row = append(row, ratioOrOOM(cost.Efficiency(dram.DecodeTokPerSec(), flexPrice), base, dram.OOM))
+					for _, n := range []int{4, 8, 16} {
+						h := repcache.CoreRun(tb, req, core.DefaultOptions(n))
+						eff := cost.Efficiency(h.DecodeTokPerSec(), cost.HILOSSystem(gpu, n).PriceUSD(tb))
+						row = append(row, ratioOrOOM(eff, base, h.OOM))
+					}
+					return group{rows: [][]string{row}}
+				})
 			}
 		}
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -63,22 +68,25 @@ func (r Runner) Fig16b() Table {
 	flex := endurance.FlexWrites()
 	h16 := endurance.HILOSWrites(0.5, 16)
 	h32 := endurance.HILOSWrites(0.5, 32)
+	var points []func() group
 	for _, class := range workload.Classes() {
 		for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
-			nf, err := endurance.ServiceableRequests(m, class, flex, 16, r.TB.SmartSSD.SSD.PBW)
-			if err != nil {
-				t.Notes = append(t.Notes, "error: "+err.Error())
-				continue
-			}
-			n16, _ := endurance.ServiceableRequests(m, class, h16, 16, r.TB.SmartSSD.SSD.PBW)
-			n32, _ := endurance.ServiceableRequests(m, class, h32, 16, r.TB.SmartSSD.SSD.PBW)
-			t.Rows = append(t.Rows, []string{
-				class.Name, m.Name,
-				f2(nf / 1e6), f2(n16 / 1e6), f2(n32 / 1e6),
-				f2(n16 / nf), f2(n32 / n16),
+			points = append(points, func() group {
+				nf, err := endurance.ServiceableRequests(m, class, flex, 16, r.TB.SmartSSD.SSD.PBW)
+				if err != nil {
+					return group{notes: []string{"error: " + err.Error()}}
+				}
+				n16, _ := endurance.ServiceableRequests(m, class, h16, 16, r.TB.SmartSSD.SSD.PBW)
+				n32, _ := endurance.ServiceableRequests(m, class, h32, 16, r.TB.SmartSSD.SSD.PBW)
+				return group{rows: [][]string{{
+					class.Name, m.Name,
+					f2(nf / 1e6), f2(n16 / 1e6), f2(n32 / 1e6),
+					f2(n16 / nf), f2(n32 / n16),
+				}}}
 			})
 		}
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -92,48 +100,53 @@ func (r Runner) Fig17a() Table {
 			"paper: FLEX(SSD) worst; HILOS cuts energy up to 85% despite higher SSD power",
 		},
 	}
+	var points []func() group
 	for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
-		req := request(m, 16, 32768)
-		var baseTotal float64
-		type sys struct {
-			name string
-			run  func() (energy.Breakdown, error)
-		}
-		systems := []sys{
-			{"FLEX(SSD)", func() (energy.Breakdown, error) {
-				rep := baseline.FlexSSD(r.TB).Run(r.TB, req)
-				return energy.PerToken(r.TB, rep, energy.Config{Storage: energy.PlainSSDs, Devices: 4})
-			}},
-			{"FLEX(DRAM)", func() (energy.Breakdown, error) {
-				rep := baseline.FlexDRAM(r.TB).Run(r.TB, req)
-				return energy.PerToken(r.TB, rep, energy.Config{Storage: energy.PlainSSDs, Devices: 4})
-			}},
-		}
-		for _, n := range []int{4, 8, 16} {
-			n := n
-			systems = append(systems, sys{fmt.Sprintf("HILOS(%d SSDs)", n), func() (energy.Breakdown, error) {
-				rep := core.Run(r.TB, req, core.DefaultOptions(n))
-				return energy.PerToken(r.TB, rep, energy.Config{
-					Storage: energy.SmartSSDs, Devices: n, AccelPowerW: r.TB.SmartSSD.AccelPowerW,
+		points = append(points, func() group {
+			req := request(m, 16, 32768)
+			var baseTotal float64
+			type sys struct {
+				name string
+				run  func() (energy.Breakdown, error)
+			}
+			systems := []sys{
+				{"FLEX(SSD)", func() (energy.Breakdown, error) {
+					rep := repcache.FlexRun(r.TB, baseline.FlexSSD(r.TB), req)
+					return energy.PerToken(r.TB, rep, energy.Config{Storage: energy.PlainSSDs, Devices: 4})
+				}},
+				{"FLEX(DRAM)", func() (energy.Breakdown, error) {
+					rep := repcache.FlexRun(r.TB, baseline.FlexDRAM(r.TB), req)
+					return energy.PerToken(r.TB, rep, energy.Config{Storage: energy.PlainSSDs, Devices: 4})
+				}},
+			}
+			for _, n := range []int{4, 8, 16} {
+				systems = append(systems, sys{fmt.Sprintf("HILOS(%d SSDs)", n), func() (energy.Breakdown, error) {
+					rep := repcache.CoreRun(r.TB, req, core.DefaultOptions(n))
+					return energy.PerToken(r.TB, rep, energy.Config{
+						Storage: energy.SmartSSDs, Devices: n, AccelPowerW: r.TB.SmartSSD.AccelPowerW,
+					})
+				}})
+			}
+			var g group
+			for i, s := range systems {
+				b, err := s.run()
+				if err != nil {
+					g.rows = append(g.rows, []string{m.Name, s.name, "-", "-", "-", "-", "OOM", "-"})
+					continue
+				}
+				if i == 0 {
+					baseTotal = b.Total()
+				}
+				g.rows = append(g.rows, []string{
+					m.Name, s.name,
+					f2(b.CPU), f2(b.DRAM), f2(b.GPU), f2(b.SSD), f2(b.Total()),
+					pct(b.Total() / baseTotal),
 				})
-			}})
-		}
-		for i, s := range systems {
-			b, err := s.run()
-			if err != nil {
-				t.Rows = append(t.Rows, []string{m.Name, s.name, "-", "-", "-", "-", "OOM", "-"})
-				continue
 			}
-			if i == 0 {
-				baseTotal = b.Total()
-			}
-			t.Rows = append(t.Rows, []string{
-				m.Name, s.name,
-				f2(b.CPU), f2(b.DRAM), f2(b.GPU), f2(b.SSD), f2(b.Total()),
-				pct(b.Total() / baseTotal),
-			})
-		}
+			return g
+		})
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -148,25 +161,29 @@ func (r Runner) Fig17b() Table {
 		},
 	}
 	v := baseline.DefaultVLLM()
+	var points []func() group
 	for _, s := range []int{16384, 32768} {
-		req := request(model.OPT175B, 16, s)
-		fs := baseline.FlexSSD(r.TB).Run(r.TB, req)
-		fd := baseline.FlexDRAM(r.TB).Run(r.TB, req)
-		vl := v.Run(r.TB, req)
-		h := core.Run(r.TB, req, core.DefaultOptions(16))
-		fdCell := "OOM"
-		if !fd.OOM {
-			fdCell = f3(fd.DecodeTokPerSec())
-		}
-		ratio := "-"
-		if vl.DecodeTokPerSec() > 0 {
-			ratio = f2(h.DecodeTokPerSec() / vl.DecodeTokPerSec())
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%dK", s/1024),
-			f3(fs.DecodeTokPerSec()), fdCell,
-			f3(vl.DecodeTokPerSec()), f3(h.DecodeTokPerSec()), ratio,
+		points = append(points, func() group {
+			req := request(model.OPT175B, 16, s)
+			fs := repcache.FlexRun(r.TB, baseline.FlexSSD(r.TB), req)
+			fd := repcache.FlexRun(r.TB, baseline.FlexDRAM(r.TB), req)
+			vl := repcache.VLLMRun(r.TB, v, req)
+			h := repcache.CoreRun(r.TB, req, core.DefaultOptions(16))
+			fdCell := "OOM"
+			if !fd.OOM {
+				fdCell = f3(fd.DecodeTokPerSec())
+			}
+			ratio := "-"
+			if vl.DecodeTokPerSec() > 0 {
+				ratio = f2(h.DecodeTokPerSec() / vl.DecodeTokPerSec())
+			}
+			return group{rows: [][]string{{
+				fmt.Sprintf("%dK", s/1024),
+				f3(fs.DecodeTokPerSec()), fdCell,
+				f3(vl.DecodeTokPerSec()), f3(h.DecodeTokPerSec()), ratio,
+			}}}
 		})
 	}
+	t.addPoints(points)
 	return t
 }

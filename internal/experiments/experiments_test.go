@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/repcache"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -106,6 +108,78 @@ func TestFig18cShape(t *testing.T) {
 	for _, row := range tab.Rows {
 		if row[1] != row[2] {
 			t.Errorf("%s: HILOS (%s) differs from FlashAttention (%s)", row[0], row[2], row[1])
+		}
+	}
+}
+
+// TestParallelRunnerByteIdentical: the worker-pool runner must assemble
+// tables byte-identical to a sequential evaluation, from a cold report
+// cache in both configurations. A representative slice of converted
+// generators keeps the double evaluation affordable.
+func TestParallelRunnerByteIdentical(t *testing.T) {
+	r := New()
+	gens := []struct {
+		id  string
+		run func(Runner) Table
+	}{
+		{"fig2", Runner.Fig2},
+		{"fig11", Runner.Fig11},
+		{"fig16b", Runner.Fig16b},
+		{"ext-cxl", Runner.ExtCXL},
+	}
+	render := func(w int) map[string]string {
+		old := workers
+		workers = w
+		defer func() { workers = old }()
+		repcache.Reset()
+		out := map[string]string{}
+		for _, g := range gens {
+			out[g.id] = g.run(r).String()
+		}
+		return out
+	}
+	seq := render(1)
+	par := render(8)
+	for _, g := range gens {
+		if seq[g.id] != par[g.id] {
+			t.Errorf("%s: parallel table differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+				g.id, seq[g.id], par[g.id])
+		}
+	}
+	// And the parallel runner must be deterministic across repeated runs.
+	again := render(8)
+	for _, g := range gens {
+		if par[g.id] != again[g.id] {
+			t.Errorf("%s: parallel runner nondeterministic across runs", g.id)
+		}
+	}
+}
+
+// TestRunPointsOrdering: runPoints must concatenate rows and notes in point
+// order regardless of worker count.
+func TestRunPointsOrdering(t *testing.T) {
+	var points []func() group
+	for i := 0; i < 37; i++ {
+		points = append(points, func() group {
+			return group{
+				rows:  [][]string{{strconv.Itoa(i)}},
+				notes: []string{"n" + strconv.Itoa(i)},
+			}
+		})
+	}
+	for _, w := range []int{1, 3, 16} {
+		old := workers
+		workers = w
+		rows, notes := runPoints(points)
+		workers = old
+		if len(rows) != 37 || len(notes) != 37 {
+			t.Fatalf("workers=%d: %d rows, %d notes", w, len(rows), len(notes))
+		}
+		for i := range rows {
+			if rows[i][0] != strconv.Itoa(i) || notes[i] != "n"+strconv.Itoa(i) {
+				t.Fatalf("workers=%d: out-of-order assembly at %d: row %q note %q",
+					w, i, rows[i][0], notes[i])
+			}
 		}
 	}
 }

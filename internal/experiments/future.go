@@ -6,6 +6,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/repcache"
 )
 
 // ExtCSD regenerates the §7.2 future-CSD analysis: whether the attention
@@ -63,20 +64,24 @@ func (r Runner) ExtCXL() Table {
 		},
 	}
 	run := func(cxl bool, c int) float64 {
-		rep := core.Run(r.TB, request(model.OPT66B, 16, 32768), core.Options{
+		rep := repcache.CoreRun(r.TB, request(model.OPT66B, 16, 32768), core.Options{
 			Devices: 8, XCache: true, DelayedWriteback: true,
 			Alpha: 0.5, SpillInterval: c, CXL: cxl,
 		})
 		return rep.DecodeTokPerSec()
 	}
+	var points []func() group
 	for _, p := range []struct {
 		name string
 		cxl  bool
 	}{{"PCIe + XRT", false}, {"CXL.mem", true}} {
-		t16, t32, t64 := run(p.cxl, 16), run(p.cxl, 32), run(p.cxl, 64)
-		t.Rows = append(t.Rows, []string{
-			p.name, f3(t16), f3(t32), f3(t64), pct(t64/t16 - 1),
+		points = append(points, func() group {
+			t16, t32, t64 := run(p.cxl, 16), run(p.cxl, 32), run(p.cxl, 64)
+			return group{rows: [][]string{{
+				p.name, f3(t16), f3(t32), f3(t64), pct(t64/t16 - 1),
+			}}}
 		})
 	}
+	t.addPoints(points)
 	return t
 }

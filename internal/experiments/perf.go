@@ -7,11 +7,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/pipeline"
+	"repro/internal/repcache"
 )
 
 func request(m model.Config, bs, ctx int) pipeline.Request {
 	return pipeline.Request{Model: m, Batch: bs, Context: ctx, OutputLen: 64}
 }
+
+// The perf generators evaluate their sweep points on the experiments worker
+// pool (pool.go): each point simulates independently through the process-wide
+// report cache and the table is assembled in point order, so the output is
+// byte-identical to the sequential loops these replaced.
 
 // Fig2 reproduces the §3 motivational study: OPT-175B memory footprint
 // breakdown and the execution-time breakdown of the SSD-offloading system
@@ -29,28 +35,34 @@ func (r Runner) Fig2() Table {
 		},
 	}
 	flex := baseline.FlexSSD(r.TB)
+	var points []func() group
 	for _, s := range []int{8192, 32768, 131072} {
-		base := flex.Run(r.TB, request(m, 1, s))
-		for _, bs := range []int{1, 4, 16} {
-			rep := flex.Run(r.TB, request(m, bs, s))
-			kvTB := float64(m.KVCacheBytes(bs, s)) / 1e12
-			wTB := float64(m.TotalWeightBytes()) / 1e12
-			// Fig. 2(b) attributes wall-clock time: the share of the step
-			// each transfer class keeps the system busy.
-			kvShare := clampShare(rep.Breakdown[pipeline.LabelLoadKV] / rep.StepSec)
-			wShare := clampShare(rep.Breakdown[pipeline.LabelLoadWeight] / rep.StepSec)
-			if kvShare+wShare > 1 {
-				wShare = 1 - kvShare
+		points = append(points, func() group {
+			base := repcache.FlexRun(r.TB, flex, request(m, 1, s))
+			var g group
+			for _, bs := range []int{1, 4, 16} {
+				rep := repcache.FlexRun(r.TB, flex, request(m, bs, s))
+				kvTB := float64(m.KVCacheBytes(bs, s)) / 1e12
+				wTB := float64(m.TotalWeightBytes()) / 1e12
+				// Fig. 2(b) attributes wall-clock time: the share of the step
+				// each transfer class keeps the system busy.
+				kvShare := clampShare(rep.Breakdown[pipeline.LabelLoadKV] / rep.StepSec)
+				wShare := clampShare(rep.Breakdown[pipeline.LabelLoadWeight] / rep.StepSec)
+				if kvShare+wShare > 1 {
+					wShare = 1 - kvShare
+				}
+				speedup := rep.DecodeTokPerSec() / base.DecodeTokPerSec()
+				g.rows = append(g.rows, []string{
+					fmt.Sprintf("%dK", s/1024), fmt.Sprint(bs),
+					f2(kvTB), f2(wTB), f2(kvTB + wTB),
+					pct(kvShare), pct(wShare), pct(1 - kvShare - wShare),
+					f2(speedup),
+				})
 			}
-			speedup := rep.DecodeTokPerSec() / base.DecodeTokPerSec()
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%dK", s/1024), fmt.Sprint(bs),
-				f2(kvTB), f2(wTB), f2(kvTB + wTB),
-				pct(kvShare), pct(wShare), pct(1 - kvShare - wShare),
-				f2(speedup),
-			})
-		}
+			return g
+		})
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -67,24 +79,30 @@ func (r Runner) Fig4() Table {
 			"paper: ANS leaves host resources < 20% utilized",
 		},
 	}
+	var points []func() group
 	for _, s := range []int{16384, 32768} {
-		req := request(model.OPT66B, 16, s)
-		base := baseline.FlexSSD(r.TB).Run(r.TB, req)
-		ans := core.Run(r.TB, req, core.Options{Devices: 8}) // ANS only
-		for _, row := range []struct {
-			name string
-			rep  pipeline.Report
-		}{{"Baseline(SSD+CPU)", base}, {"ANS", ans}} {
-			t.Rows = append(t.Rows, []string{
-				row.name, fmt.Sprintf("%dK", s/1024),
-				pct(row.rep.BreakdownShare(pipeline.LabelLoadWeight)),
-				pct(row.rep.BreakdownShare(pipeline.LabelLoadKV)),
-				pct(row.rep.BreakdownShare(pipeline.LabelStoreKV)),
-				pct(row.rep.BreakdownShare(pipeline.LabelCompute) + row.rep.BreakdownShare(pipeline.LabelXCache)),
-				pct(row.rep.HostUtilCPU), pct(row.rep.HostUtilGPU), pct(row.rep.HostUtilDRAMCap),
-			})
-		}
+		points = append(points, func() group {
+			req := request(model.OPT66B, 16, s)
+			base := repcache.FlexRun(r.TB, baseline.FlexSSD(r.TB), req)
+			ans := repcache.CoreRun(r.TB, req, core.Options{Devices: 8}) // ANS only
+			var g group
+			for _, row := range []struct {
+				name string
+				rep  pipeline.Report
+			}{{"Baseline(SSD+CPU)", base}, {"ANS", ans}} {
+				g.rows = append(g.rows, []string{
+					row.name, fmt.Sprintf("%dK", s/1024),
+					pct(row.rep.BreakdownShare(pipeline.LabelLoadWeight)),
+					pct(row.rep.BreakdownShare(pipeline.LabelLoadKV)),
+					pct(row.rep.BreakdownShare(pipeline.LabelStoreKV)),
+					pct(row.rep.BreakdownShare(pipeline.LabelCompute) + row.rep.BreakdownShare(pipeline.LabelXCache)),
+					pct(row.rep.HostUtilCPU), pct(row.rep.HostUtilGPU), pct(row.rep.HostUtilDRAMCap),
+				})
+			}
+			return g
+		})
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -102,25 +120,29 @@ func (r Runner) Fig10() Table {
 			"paper: HILOS(16) reaches 5.3-7.8x where FLEX(DRAM) OOMs",
 		},
 	}
+	var points []func() group
 	for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
 		for _, s := range []int{32768, 65536, 131072} {
-			req := request(m, 16, s)
-			base := baseline.FlexSSD(r.TB).Run(r.TB, req)
-			b := base.DecodeTokPerSec()
-			cell := func(rep pipeline.Report) string {
-				return ratioOrOOM(rep.DecodeTokPerSec(), b, rep.OOM)
-			}
-			t.Rows = append(t.Rows, []string{
-				m.Name, fmt.Sprintf("%dK", s/1024), f3(b),
-				cell(baseline.Flex16SSD(r.TB).Run(r.TB, req)),
-				cell(baseline.DeepSpeedUVM(r.TB).Run(r.TB, req)),
-				cell(baseline.FlexDRAM(r.TB).Run(r.TB, req)),
-				cell(core.Run(r.TB, req, core.DefaultOptions(4))),
-				cell(core.Run(r.TB, req, core.DefaultOptions(8))),
-				cell(core.Run(r.TB, req, core.DefaultOptions(16))),
+			points = append(points, func() group {
+				req := request(m, 16, s)
+				base := repcache.FlexRun(r.TB, baseline.FlexSSD(r.TB), req)
+				b := base.DecodeTokPerSec()
+				cell := func(rep pipeline.Report) string {
+					return ratioOrOOM(rep.DecodeTokPerSec(), b, rep.OOM)
+				}
+				return group{rows: [][]string{{
+					m.Name, fmt.Sprintf("%dK", s/1024), f3(b),
+					cell(repcache.FlexRun(r.TB, baseline.Flex16SSD(r.TB), req)),
+					cell(repcache.FlexRun(r.TB, baseline.DeepSpeedUVM(r.TB), req)),
+					cell(repcache.FlexRun(r.TB, baseline.FlexDRAM(r.TB), req)),
+					cell(repcache.CoreRun(r.TB, req, core.DefaultOptions(4))),
+					cell(repcache.CoreRun(r.TB, req, core.DefaultOptions(8))),
+					cell(repcache.CoreRun(r.TB, req, core.DefaultOptions(16))),
+				}}}
 			})
 		}
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -135,28 +157,32 @@ func (r Runner) Fig11() Table {
 			"paper: FLEX(DRAM) capped at small batches; FLEX(SSD) saturates on KV I/O; HILOS scales to bs=16",
 		},
 	}
+	var points []func() group
 	for _, s := range []int{32768, 65536} {
 		for _, bs := range []int{1, 2, 4, 8, 16} {
-			req := request(model.OPT66B, bs, s)
-			fs := baseline.FlexSSD(r.TB).Run(r.TB, req)
-			fd := baseline.FlexDRAM(r.TB).Run(r.TB, req)
-			h := core.Run(r.TB, req, core.DefaultOptions(16))
-			fdCell, fdShare := "OOM", "-"
-			if !fd.OOM {
-				if fd.Batch < bs {
-					fdCell = fmt.Sprintf("%.3f (bs=%d)", fd.DecodeTokPerSec(), fd.Batch)
-				} else {
-					fdCell = f3(fd.DecodeTokPerSec())
+			points = append(points, func() group {
+				req := request(model.OPT66B, bs, s)
+				fs := repcache.FlexRun(r.TB, baseline.FlexSSD(r.TB), req)
+				fd := repcache.FlexRun(r.TB, baseline.FlexDRAM(r.TB), req)
+				h := repcache.CoreRun(r.TB, req, core.DefaultOptions(16))
+				fdCell, fdShare := "OOM", "-"
+				if !fd.OOM {
+					if fd.Batch < bs {
+						fdCell = fmt.Sprintf("%.3f (bs=%d)", fd.DecodeTokPerSec(), fd.Batch)
+					} else {
+						fdCell = f3(fd.DecodeTokPerSec())
+					}
+					fdShare = pct(fd.BreakdownShare(pipeline.LabelLoadWeight))
 				}
-				fdShare = pct(fd.BreakdownShare(pipeline.LabelLoadWeight))
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%dK", s/1024), fmt.Sprint(bs),
-				f3(fs.DecodeTokPerSec()), fdCell, f3(h.DecodeTokPerSec()),
-				pct(fs.BreakdownShare(pipeline.LabelLoadKV)), fdShare,
+				return group{rows: [][]string{{
+					fmt.Sprintf("%dK", s/1024), fmt.Sprint(bs),
+					f3(fs.DecodeTokPerSec()), fdCell, f3(h.DecodeTokPerSec()),
+					pct(fs.BreakdownShare(pipeline.LabelLoadKV)), fdShare,
+				}}}
 			})
 		}
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -179,20 +205,24 @@ func (r Runner) Fig12b() Table {
 		{model.Mixtral8x7B, []int{32768, 65536, 98304, 131072, 196608}},
 		{model.GLaM143B, []int{32768, 65536, 98304, 131072, 196608}},
 	}
+	var points []func() group
 	for _, c := range cases {
 		for _, s := range c.ctxs {
-			req := request(c.m, 16, s)
-			base := baseline.FlexSSD(r.TB).Run(r.TB, req)
-			b := base.DecodeTokPerSec()
-			fd := baseline.FlexDRAM(r.TB).Run(r.TB, req)
-			h := core.Run(r.TB, req, core.DefaultOptions(16))
-			t.Rows = append(t.Rows, []string{
-				c.m.Name, fmt.Sprintf("%dK", s/1024), f3(b),
-				ratioOrOOM(fd.DecodeTokPerSec(), b, fd.OOM),
-				ratioOrOOM(h.DecodeTokPerSec(), b, h.OOM),
+			points = append(points, func() group {
+				req := request(c.m, 16, s)
+				base := repcache.FlexRun(r.TB, baseline.FlexSSD(r.TB), req)
+				b := base.DecodeTokPerSec()
+				fd := repcache.FlexRun(r.TB, baseline.FlexDRAM(r.TB), req)
+				h := repcache.CoreRun(r.TB, req, core.DefaultOptions(16))
+				return group{rows: [][]string{{
+					c.m.Name, fmt.Sprintf("%dK", s/1024), f3(b),
+					ratioOrOOM(fd.DecodeTokPerSec(), b, fd.OOM),
+					ratioOrOOM(h.DecodeTokPerSec(), b, h.OOM),
+				}}}
 			})
 		}
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -206,19 +236,23 @@ func (r Runner) Fig13() Table {
 			"paper: α=50% consistently best; c=16 best for all α (4 KiB page alignment)",
 		},
 	}
+	var points []func() group
 	for _, m := range []model.Config{model.OPT30B, model.OPT66B} {
 		for _, alpha := range []float64{0, 0.125, 0.25, 0.5, 0.75} {
-			row := []string{m.Name, pct(alpha)}
-			for _, c := range []int{2, 4, 8, 16, 32, 64} {
-				rep := core.Run(r.TB, request(m, 16, 32768), core.Options{
-					Devices: 8, XCache: alpha > 0, DelayedWriteback: true,
-					Alpha: alpha, SpillInterval: c,
-				})
-				row = append(row, f3(rep.DecodeTokPerSec()))
-			}
-			t.Rows = append(t.Rows, row)
+			points = append(points, func() group {
+				row := []string{m.Name, pct(alpha)}
+				for _, c := range []int{2, 4, 8, 16, 32, 64} {
+					rep := repcache.CoreRun(r.TB, request(m, 16, 32768), core.Options{
+						Devices: 8, XCache: alpha > 0, DelayedWriteback: true,
+						Alpha: alpha, SpillInterval: c,
+					})
+					row = append(row, f3(rep.DecodeTokPerSec()))
+				}
+				return group{rows: [][]string{row}}
+			})
 		}
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -233,21 +267,27 @@ func (r Runner) Fig14() Table {
 			"paper: speedup grows with output length (up to 6.08x) as prefill amortizes",
 		},
 	}
+	var points []func() group
 	for _, m := range []model.Config{model.OPT30B, model.OPT66B} {
 		for _, s := range []int{16384, 32768} {
-			req := request(m, 16, s)
-			f := baseline.FlexSSD(r.TB).Run(r.TB, req)
-			h := core.Run(r.TB, req, core.DefaultOptions(8))
-			for _, n := range []int{16, 32, 64, 128} {
-				t.Rows = append(t.Rows, []string{
-					m.Name, fmt.Sprintf("%dK", s/1024), fmt.Sprint(n),
-					f2(f.PrefillSec), f2(f.TotalSec(n)),
-					f2(h.PrefillSec), f2(h.TotalSec(n)),
-					f2(f.TotalSec(n) / h.TotalSec(n)),
-				})
-			}
+			points = append(points, func() group {
+				req := request(m, 16, s)
+				f := repcache.FlexRun(r.TB, baseline.FlexSSD(r.TB), req)
+				h := repcache.CoreRun(r.TB, req, core.DefaultOptions(8))
+				var g group
+				for _, n := range []int{16, 32, 64, 128} {
+					g.rows = append(g.rows, []string{
+						m.Name, fmt.Sprintf("%dK", s/1024), fmt.Sprint(n),
+						f2(f.PrefillSec), f2(f.TotalSec(n)),
+						f2(h.PrefillSec), f2(h.TotalSec(n)),
+						f2(f.TotalSec(n) / h.TotalSec(n)),
+					})
+				}
+				return g
+			})
 		}
 	}
+	t.addPoints(points)
 	return t
 }
 
@@ -266,21 +306,25 @@ func (r Runner) Fig15() Table {
 		xc, wb bool
 	}
 	variants := []cfg{{false, false}, {false, true}, {true, false}, {true, true}}
+	var points []func() group
 	for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.GLaM143B} {
 		for _, bs := range []int{16, 32} {
 			for _, s := range []int{16384, 32768, 65536} {
-				req := request(m, bs, s)
-				base := baseline.FlexSSD(r.TB).Run(r.TB, req).DecodeTokPerSec()
-				row := []string{m.Name, fmt.Sprint(bs), fmt.Sprintf("%dK", s/1024)}
-				for _, v := range variants {
-					rep := core.Run(r.TB, req, core.Options{
-						Devices: 8, XCache: v.xc, DelayedWriteback: v.wb, Alpha: -1,
-					})
-					row = append(row, ratioOrOOM(rep.DecodeTokPerSec(), base, rep.OOM))
-				}
-				t.Rows = append(t.Rows, row)
+				points = append(points, func() group {
+					req := request(m, bs, s)
+					base := repcache.FlexRun(r.TB, baseline.FlexSSD(r.TB), req).DecodeTokPerSec()
+					row := []string{m.Name, fmt.Sprint(bs), fmt.Sprintf("%dK", s/1024)}
+					for _, v := range variants {
+						rep := repcache.CoreRun(r.TB, req, core.Options{
+							Devices: 8, XCache: v.xc, DelayedWriteback: v.wb, Alpha: -1,
+						})
+						row = append(row, ratioOrOOM(rep.DecodeTokPerSec(), base, rep.OOM))
+					}
+					return group{rows: [][]string{row}}
+				})
 			}
 		}
 	}
+	t.addPoints(points)
 	return t
 }

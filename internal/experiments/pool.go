@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers bounds the experiment worker pool. The determinism test pins it
+// to 1 to prove index-ordered assembly makes the parallel runner's tables
+// byte-identical to a sequential run.
+var workers = runtime.GOMAXPROCS(0)
+
+// group is the output of one independent sweep point of a generator: the
+// table rows it contributes plus any notes it appended (infeasibility
+// errors, measured aggregates).
+type group struct {
+	rows  [][]string
+	notes []string
+}
+
+// addPoints evaluates the points via runPoints and appends their rows and
+// notes to the table, so no generator can accidentally drop a point's
+// notes (error paths and measured aggregates ride along with the rows).
+func (t *Table) addPoints(points []func() group) {
+	rows, notes := runPoints(points)
+	t.Rows = append(t.Rows, rows...)
+	t.Notes = append(t.Notes, notes...)
+}
+
+// runPoints evaluates every point on a bounded worker pool and assembles
+// the results strictly in point order, so the table is identical to what a
+// sequential loop over the points would have produced. Points must be
+// independent of each other; shared simulations dedupe in repcache rather
+// than through evaluation order.
+func runPoints(points []func() group) ([][]string, []string) {
+	out := make([]group, len(points))
+	w := workers
+	if w > len(points) {
+		w = len(points)
+	}
+	if w <= 1 {
+		for i, fn := range points {
+			out[i] = fn()
+		}
+	} else {
+		var wg sync.WaitGroup
+		queue := make(chan int)
+		for n := 0; n < w; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range queue {
+					out[i] = points[i]()
+				}
+			}()
+		}
+		for i := range points {
+			queue <- i
+		}
+		close(queue)
+		wg.Wait()
+	}
+	var rows [][]string
+	var notes []string
+	for _, g := range out {
+		rows = append(rows, g.rows...)
+		notes = append(notes, g.notes...)
+	}
+	return rows, notes
+}

@@ -1,0 +1,112 @@
+// Package repcache is a process-wide memo for simulation reports. Every
+// engine in this repository is a pure function of (testbed, request,
+// options) — the discrete-event substrate is fully deterministic — so
+// identical simulation points across experiment tables, sweep axes and
+// repeated benchmark iterations can share one run. It generalizes the
+// per-fleet memo of internal/cluster/dispatch.go: where that memo lives for
+// one dispatcher and keys on an engine label, this cache lives for the
+// process and keys on the complete comparable input of the run.
+//
+// Cached reports are shared: callers must treat them (including their
+// Breakdown/ResourceBusy maps and Trace slice) as immutable, the same
+// contract cluster assignments already follow.
+package repcache
+
+import (
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pipeline"
+)
+
+// coreKey identifies one HILOS core.Run invocation.
+type coreKey struct {
+	tb  device.Testbed
+	req pipeline.Request
+	opt core.Options
+}
+
+// flexKey identifies one FlexGen-style baseline run.
+type flexKey struct {
+	tb  device.Testbed
+	req pipeline.Request
+	v   baseline.FlexVariant
+}
+
+// vllmKey identifies one multi-node vLLM baseline run.
+type vllmKey struct {
+	tb  device.Testbed
+	req pipeline.Request
+	cfg baseline.VLLMConfig
+}
+
+// entry is a singleflight slot: the first caller computes under the entry
+// lock, concurrent callers for the same key block on it and share the
+// result. done is set only after compute returns, so a panicking compute
+// (e.g. a malformed task graph) propagates without poisoning the slot —
+// the next caller simply retries.
+type entry struct {
+	mu   sync.Mutex
+	done bool
+	rep  pipeline.Report
+}
+
+var (
+	mu    sync.Mutex
+	cache = map[any]*entry{}
+)
+
+func memo(key any, compute func() pipeline.Report) pipeline.Report {
+	mu.Lock()
+	e, ok := cache[key]
+	if !ok {
+		e = &entry{}
+		cache[key] = e
+	}
+	mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		e.rep = compute()
+		e.done = true
+	}
+	return e.rep
+}
+
+// CoreRun is a memoized core.Run.
+func CoreRun(tb device.Testbed, req pipeline.Request, opt core.Options) pipeline.Report {
+	return memo(coreKey{tb: tb, req: req, opt: opt}, func() pipeline.Report {
+		return core.Run(tb, req, opt)
+	})
+}
+
+// FlexRun is a memoized baseline.FlexVariant.Run.
+func FlexRun(tb device.Testbed, v baseline.FlexVariant, req pipeline.Request) pipeline.Report {
+	return memo(flexKey{tb: tb, req: req, v: v}, func() pipeline.Report {
+		return v.Run(tb, req)
+	})
+}
+
+// VLLMRun is a memoized baseline.VLLMConfig.Run.
+func VLLMRun(tb device.Testbed, cfg baseline.VLLMConfig, req pipeline.Request) pipeline.Report {
+	return memo(vllmKey{tb: tb, req: req, cfg: cfg}, func() pipeline.Report {
+		return cfg.Run(tb, req)
+	})
+}
+
+// Len reports the number of distinct simulation points cached.
+func Len() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return len(cache)
+}
+
+// Reset drops every cached report. It exists for tests that must observe
+// cold-cache behavior; production callers never need it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	cache = map[any]*entry{}
+}

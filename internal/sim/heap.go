@@ -1,0 +1,305 @@
+package sim
+
+// This file implements Run, the event-driven replacement for the O(n²)
+// rescanning list scheduler retained as RunReference. The policy is
+// identical — among all ready tasks, run the one with the earliest possible
+// start time, ties broken by creation id — but the ready set is maintained
+// incrementally:
+//
+//   - dependency counting makes a task ready the moment its last dependency
+//     finishes (its ready time is the running max of dependency finishes);
+//   - each resource keeps two min-heaps of its ready tasks: "waiting"
+//     (ready time still ahead of the resource's free time, ordered by
+//     (ready, id)) and "runnable" (startable the instant the resource
+//     frees, ordered by id alone — they all share start == free);
+//   - a global indexed min-heap of resources, ordered by each resource's
+//     best candidate (start, id), yields the next task in O(log R).
+//
+// Whenever a resource's free time advances, its waiting heap drains into
+// runnable. All start/finish arithmetic matches RunReference operation for
+// operation, so the two schedulers produce bit-identical Results.
+
+// taskHeap is a binary min-heap of tasks under an externally chosen order.
+type taskHeap []*Task
+
+// lessReady orders by (ready, id): the waiting heap and the pure-latency
+// pseudo-resource, whose tasks start exactly at their ready time.
+func lessReady(a, b *Task) bool {
+	return a.ready < b.ready || (a.ready == b.ready && a.id < b.id)
+}
+
+// lessID orders by id alone: the runnable heap, where every task would
+// start at the resource's shared free time.
+func lessID(a, b *Task) bool { return a.id < b.id }
+
+func (h *taskHeap) push(t *Task, less func(a, b *Task) bool) {
+	*h = append(*h, t)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *taskHeap) pop(less func(a, b *Task) bool) *Task {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && less(s[l], s[m]) {
+			m = l
+		}
+		if r < n && less(s[r], s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// candidate is a resource's best (start, id) offer, or ok=false when it has
+// no ready tasks.
+type candidate struct {
+	start Time
+	id    int
+}
+
+func (c candidate) less(o candidate) bool {
+	return c.start < o.start || (c.start == o.start && c.id < o.id)
+}
+
+// runQueues resets the scheduling state of every resource this run can
+// touch and returns the pseudo-resource standing in for "no resource":
+// pure-latency tasks contend with nothing, so their start is exactly their
+// ready time and free stays 0. Using a Resource value lets the candidate
+// heap treat both kinds uniformly.
+func (e *Engine) runQueues() *Resource {
+	nilRes := &Resource{pos: -1}
+	seen := map[*Resource]bool{nilRes: true}
+	add := func(r *Resource) {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			r.waiting, r.runnable, r.pos = nil, nil, -1
+		}
+	}
+	for _, r := range e.resources {
+		add(r)
+	}
+	for _, t := range e.tasks {
+		add(t.Res) // tasks may target resources owned by another engine
+	}
+	return nilRes
+}
+
+// best returns the resource's current candidate. The runnable heap wins
+// when non-empty: all its tasks would start at free, which can never exceed
+// the waiting heap's earliest ready time (waiting holds only ready > free).
+func best(r *Resource) (candidate, bool) {
+	if len(r.runnable) > 0 {
+		return candidate{start: r.free, id: r.runnable[0].id}, true
+	}
+	if len(r.waiting) > 0 {
+		return candidate{start: r.waiting[0].ready, id: r.waiting[0].id}, true
+	}
+	return candidate{}, false
+}
+
+// resHeap is an indexed min-heap of resources keyed by their candidate;
+// each resource tracks its slot in pos so candidates can be re-keyed in
+// O(log R) when heaps underneath them change.
+type resHeap struct {
+	rs    []*Resource
+	cands []candidate
+}
+
+func (h *resHeap) swap(i, j int) {
+	h.rs[i], h.rs[j] = h.rs[j], h.rs[i]
+	h.cands[i], h.cands[j] = h.cands[j], h.cands[i]
+	h.rs[i].pos, h.rs[j].pos = i, j
+}
+
+func (h *resHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.cands[i].less(h.cands[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *resHeap) down(i int) {
+	n := len(h.rs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.cands[l].less(h.cands[m]) {
+			m = l
+		}
+		if r < n && h.cands[r].less(h.cands[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// fix re-evaluates r's candidate and inserts, re-keys, or removes it.
+func (h *resHeap) fix(r *Resource) {
+	c, ok := best(r)
+	switch {
+	case ok && r.pos >= 0: // re-key in place
+		h.cands[r.pos] = c
+		h.up(r.pos)
+		h.down(r.pos)
+	case ok: // insert
+		r.pos = len(h.rs)
+		h.rs = append(h.rs, r)
+		h.cands = append(h.cands, c)
+		h.up(r.pos)
+	case r.pos >= 0: // remove
+		i := r.pos
+		n := len(h.rs) - 1
+		h.swap(i, n)
+		h.rs[n] = nil
+		h.rs, h.cands = h.rs[:n], h.cands[:n]
+		r.pos = -1
+		if i < n {
+			h.up(i)
+			h.down(i)
+		}
+	}
+}
+
+// Run schedules every task and returns the simulation result. Run may be
+// called once per Engine; it panics on dependency cycles. It implements the
+// same earliest-start policy as RunReference (bit-identical Results) in
+// O((n+m)·log n) for n tasks and m dependency edges.
+func (e *Engine) Run() Result {
+	if e.ran {
+		panic("sim: Run called twice")
+	}
+	e.ran = true
+
+	nilRes := e.runQueues()
+	var rh resHeap
+
+	// Dependency counting. A dependency that already finished under another
+	// engine's Run contributes its finish time to ready; an unfinished
+	// foreign dependency can never fire, which the cycle check catches.
+	enqueue := func(t *Task) {
+		r := t.Res
+		if r == nil {
+			r = nilRes
+		}
+		if t.Res != nil && t.ready <= r.free {
+			r.runnable.push(t, lessID)
+		} else {
+			r.waiting.push(t, lessReady)
+		}
+		rh.fix(r)
+	}
+	for _, t := range e.tasks {
+		t.succ, t.waiting, t.ready = nil, 0, 0
+	}
+	for _, t := range e.tasks {
+		for _, d := range t.deps {
+			if d.done {
+				if d.finish > t.ready {
+					t.ready = d.finish
+				}
+			} else {
+				d.succ = append(d.succ, t)
+				t.waiting++
+			}
+		}
+	}
+	for _, t := range e.tasks {
+		if t.waiting == 0 {
+			enqueue(t)
+		}
+	}
+
+	res := Result{
+		ByLabel:      make(map[string]Time),
+		ResourceBusy: make(map[string]Time),
+	}
+	for scheduled := 0; scheduled < len(e.tasks); scheduled++ {
+		if len(rh.rs) == 0 {
+			panic("sim: dependency cycle or unschedulable task")
+		}
+		r := rh.rs[0]
+		start := rh.cands[0].start
+		var t *Task
+		if len(r.runnable) > 0 {
+			t = r.runnable.pop(lessID)
+		} else {
+			t = r.waiting.pop(lessReady)
+		}
+
+		dur := t.Fixed
+		if t.Res != nil {
+			dur += t.Demand / t.Res.Rate
+		}
+		t.start = start
+		t.finish = start + dur
+		t.done = true
+		if t.Res != nil {
+			t.Res.free = t.finish
+			t.Res.busy += dur
+			// The free advance may promote waiting tasks to runnable.
+			for len(r.waiting) > 0 && r.waiting[0].ready <= r.free {
+				r.runnable.push(r.waiting.pop(lessReady), lessID)
+			}
+		}
+		rh.fix(r)
+
+		res.ByLabel[t.Label] += dur
+		if t.finish > res.Makespan {
+			res.Makespan = t.finish
+		}
+		if !e.noRecords {
+			resName := ""
+			if t.Res != nil {
+				resName = t.Res.Name
+			}
+			res.Tasks = append(res.Tasks, TaskRecord{
+				Label: t.Label, Resource: resName, Start: t.start, Finish: t.finish,
+			})
+		}
+
+		for _, s := range t.succ {
+			if t.finish > s.ready {
+				s.ready = t.finish
+			}
+			if s.waiting--; s.waiting == 0 {
+				enqueue(s)
+			}
+		}
+		t.succ = nil
+	}
+	for _, r := range e.resources {
+		res.ResourceBusy[r.Name] = r.busy
+	}
+	return res
+}

@@ -12,6 +12,12 @@
 // The scheduler is a global earliest-start list scheduler: at every step the
 // ready task that can start earliest runs next on its resource. Ties break on
 // creation order, making every simulation fully deterministic.
+//
+// Run implements that policy as a dependency-counting event loop over
+// indexed min-heaps (O((n+m)·log n) for n tasks and m edges); RunReference
+// retains the original O(n²) rescanning list scheduler. Both produce
+// bit-identical Results — a property the equivalence tests fuzz on random
+// DAGs — so Run is a pure performance upgrade.
 package sim
 
 import (
@@ -30,6 +36,15 @@ type Resource struct {
 
 	free Time // next instant the resource is available
 	busy Time // accumulated busy time
+
+	// Event-loop scheduling state (see heap.go). waiting holds ready tasks
+	// whose dependency-ready time is still ahead of free, ordered by
+	// (ready, id); runnable holds tasks that could start the moment the
+	// resource frees up, ordered by id. pos is this resource's slot in the
+	// global candidate heap (-1 when absent).
+	waiting  taskHeap
+	runnable taskHeap
+	pos      int
 }
 
 // Busy returns the total time this resource spent executing tasks.
@@ -46,6 +61,11 @@ type Task struct {
 	deps          []*Task
 	start, finish Time
 	done          bool
+
+	// Event-loop scheduling state (see heap.go).
+	succ    []*Task // dependents discovered during Run
+	waiting int     // unfinished dependencies
+	ready   Time    // max finish over completed dependencies
 }
 
 // Start returns the scheduled start time. Valid after Engine.Run.
@@ -62,10 +82,17 @@ type Engine struct {
 	resources []*Resource
 	tasks     []*Task
 	ran       bool
+	noRecords bool
 }
 
 // NewEngine returns an empty simulation.
 func NewEngine() *Engine { return &Engine{} }
+
+// RecordTimeline controls whether Run appends a TaskRecord per scheduled
+// task to Result.Tasks (the default). Large simulations whose timelines
+// nobody reads can opt out to skip the per-task allocation; Makespan,
+// ByLabel and ResourceBusy are unaffected.
+func (e *Engine) RecordTimeline(on bool) { e.noRecords = !on }
 
 // Resource registers a resource with the given service rate (units/second).
 func (e *Engine) Resource(name string, rate float64) *Resource {
@@ -147,9 +174,13 @@ func (r Result) LabelShare(label string) float64 {
 	return r.ByLabel[label] / total
 }
 
-// Run schedules every task and returns the simulation result. Run may be
-// called once per Engine; it panics on dependency cycles.
-func (e *Engine) Run() Result {
+// RunReference schedules every task with the original O(n²) list scheduler:
+// every step rescans all pending tasks for the one that can start earliest.
+// It is retained verbatim as the behavioral reference for Run — the
+// equivalence tests assert both produce identical Results on random DAGs —
+// and as the baseline the scheduler benchmarks measure speedups against.
+// Like Run, it may be called once per Engine and panics on cycles.
+func (e *Engine) RunReference() Result {
 	if e.ran {
 		panic("sim: Run called twice")
 	}
@@ -202,13 +233,15 @@ func (e *Engine) Run() Result {
 		if t.finish > res.Makespan {
 			res.Makespan = t.finish
 		}
-		resName := ""
-		if t.Res != nil {
-			resName = t.Res.Name
+		if !e.noRecords {
+			resName := ""
+			if t.Res != nil {
+				resName = t.Res.Name
+			}
+			res.Tasks = append(res.Tasks, TaskRecord{
+				Label: t.Label, Resource: resName, Start: t.start, Finish: t.finish,
+			})
 		}
-		res.Tasks = append(res.Tasks, TaskRecord{
-			Label: t.Label, Resource: resName, Start: t.start, Finish: t.finish,
-		})
 	}
 	for _, r := range e.resources {
 		res.ResourceBusy[r.Name] = r.busy

@@ -106,16 +106,27 @@ func MatVec(m Mat, x []float32) []float32 {
 	return out
 }
 
-// Dot returns the inner product of a and b accumulated in float32.
+// Dot returns the inner product of a and b accumulated in float32. The
+// loop is unrolled four-wide over independent partial sums — matching the
+// accelerator's parallel MAC lanes — which breaks the sequential add
+// dependency chain; the four lanes are reduced pairwise at the end.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: dot length %d != %d", len(a), len(b)))
 	}
-	var s float32
-	for i := range a {
-		s += a[i] * b[i]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa, bb := a[i:i+4:i+4], b[i:i+4:i+4]
+		s0 += aa[0] * bb[0]
+		s1 += aa[1] * bb[1]
+		s2 += aa[2] * bb[2]
+		s3 += aa[3] * bb[3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Scale multiplies every element of m by f in place and returns m.

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -110,6 +111,29 @@ func TestRoundFP16(t *testing.T) {
 	// 1.0000001 is within half an FP16 ULP of 1.
 	if m.Data[0] != 1 {
 		t.Errorf("RoundFP16 kept %v", m.Data[0])
+	}
+}
+
+// TestDotUnrollMatchesSequential: the four-lane unrolled Dot must agree
+// with a plain sequential accumulation within FP32 reassociation tolerance,
+// for every length class the unroll handles (0..4 remainders).
+func TestDotUnrollMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 127, 128, 129, 1000} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		var seq float64
+		for i := 0; i < n; i++ {
+			seq += float64(a[i]) * float64(b[i])
+		}
+		got := float64(Dot(a, b))
+		if d := math.Abs(got - seq); d > 1e-3*(1+math.Abs(seq)) {
+			t.Errorf("n=%d: Dot = %v, sequential = %v (diff %v)", n, got, seq, d)
+		}
 	}
 }
 
