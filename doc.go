@@ -152,8 +152,10 @@
 // worker pool with index-ordered assembly, so regenerated tables are
 // byte-identical to a sequential run. Independent points that hit the same
 // simulation share it through internal/repcache, a process-wide memoized
-// report cache keyed on the complete (testbed, request, options) input —
-// the generalization of the per-fleet memo inside the cluster dispatcher.
+// report cache keyed on the complete (testbed, request, options) input.
+// The cluster dispatcher's per-fleet report memo is a repcache.Group — a
+// private namespace over the same cache with the same per-key singleflight,
+// so concurrent prewarm workers share one run per batch shape.
 //
 // BENCH_PR4.json records the whole benchmark suite (ns/op, allocs/op,
 // bytes/op). To regenerate it, pipe `go test -bench` output through
@@ -168,6 +170,43 @@
 // machine-independent ratio to BenchmarkSchedulerListSchedulingReference;
 // 20% headroom by default, widened to 50% in CI for cross-runner
 // variance), or if the speedup falls below the hard 5x acceptance floor.
+//
+// # Invariants
+//
+// Three conventions hold everywhere in this repository, and the
+// cmd/hilos-lint analyzer suite (internal/lint) enforces them in CI:
+//
+//   - Determinism (simdeterminism): identical inputs produce bit-identical
+//     tables. The simulation packages (internal/sim, internal/cluster,
+//     internal/serving, internal/experiments) never read time.Now, the
+//     process environment, or an unseeded entropy source — randomness comes
+//     from explicitly seeded rand.New(rand.NewSource(seed)) streams — and
+//     Go's randomized map iteration order never reaches an output: code
+//     collects keys, sorts, then walks. Appending inside a map range is fine
+//     exactly when the slice is sorted afterwards in the same function.
+//   - Numerics (floataccum): long float reductions in the kernel packages
+//     (internal/attention, internal/tensor, internal/fp16) accumulate in
+//     float64 — attention.Partial/Stats — and convert once at the boundary.
+//     float32 `+=` in a loop is reserved for code that deliberately models
+//     the accelerator's FP32 MAC datapath, and says so.
+//   - Concurrency (guardedby, heapsafe): shared state annotated
+//     `// guarded by <mu>` (repcache's cache and entries, the engine
+//     registry) is only touched with the named mutex held — RLock suffices
+//     for reads, never for writes. Heap-ordering fields of internal/sim's
+//     indexed min-heaps (Task.ready, Task.id, Resource.free) change only on
+//     the heap's own Fix/Push/Pop paths, or with a re-heapify call following
+//     in the same function. Code with no mutex at all — the experiment
+//     worker pools, the cluster event loop — stays race-free structurally:
+//     single-goroutine loops and index-disjoint writes.
+//
+// Run the suite with `go run ./cmd/hilos-lint ./...` (flags: -json for
+// machine-readable output, -rules to select analyzers, -list to enumerate
+// them). A deliberate exception is annotated in source with
+// `//lint:allow <rule> <reason>` — on the offending line, in a declaration's
+// doc comment, or in the package doc — and the reason is part of the
+// contract: it documents why the invariant bends there. Fixtures under
+// internal/lint/testdata/src pin each analyzer's catch and no-false-positive
+// behavior.
 //
 // See the examples directory for runnable walkthroughs and
 // DESIGN.md/EXPERIMENTS.md for the reproduction methodology.

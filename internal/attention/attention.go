@@ -11,6 +11,8 @@ import (
 // softmax(q·Kᵀ/√d)·V for each query row of q. K and V have one row per
 // cached token; mask (optional, len == K.Rows) marks valid positions.
 // This is the golden reference every optimized path is tested against.
+//
+//lint:allow floataccum reference kernel deliberately models the FP32 accumulator datapath
 func Ref(q, k, v tensor.Mat, mask []bool) tensor.Mat {
 	d := q.Cols
 	if k.Cols != d {
@@ -89,6 +91,8 @@ func (p *Partial) Reset() {
 // statistics stay in float64 (matching the streaming update unit's wide
 // internal registers); the accumulator arithmetic is pure float32, with the
 // rescale and weight converted once per call rather than once per element.
+//
+//lint:allow floataccum the Partial accumulator itself is the modeled FP32 MAC array
 func (p *Partial) AddToken(score float32, vrow []float32) {
 	s := float64(score)
 	if s > p.Stats.M {
@@ -117,6 +121,8 @@ func (p *Partial) AddToken(score float32, vrow []float32) {
 // at most once per block (instead of once per token as repeated AddToken
 // calls would), and every weighted value row is then accumulated against
 // the settled running maximum.
+//
+//lint:allow floataccum the Partial accumulator itself is the modeled FP32 MAC array
 func (p *Partial) AddBlock(scores []float32, v tensor.Mat, lo int) {
 	if len(scores) == 0 {
 		return
@@ -161,6 +167,8 @@ func (p *Partial) AddBlock(scores []float32, v tensor.Mat, lo int) {
 }
 
 // Merge folds another partial (over a disjoint token range) into p.
+//
+//lint:allow floataccum the Partial accumulator itself is the modeled FP32 MAC array
 func (p *Partial) Merge(o Partial) {
 	if len(p.Acc) != len(o.Acc) {
 		panic("attention: partial dim mismatch")
@@ -324,11 +332,13 @@ func TopKBlocks(q, k, v tensor.Mat, mask []bool, keepBlocks, blockSize int) tens
 			if hi > k.Rows {
 				hi = k.Rows
 			}
-			var sum float32
+			// Mean-pool in float64 so block ranking does not depend on
+			// float32 rounding of the partial sums (hilos-lint: floataccum).
+			var sum float64
 			for i := lo; i < hi; i++ {
-				sum += scores[i]
+				sum += float64(scores[i])
 			}
-			blockScore[b] = sum / float32(hi-lo)
+			blockScore[b] = float32(sum / float64(hi-lo))
 		}
 		keep := topKIndices(blockScore, keepBlocks)
 		p.Reset()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/model"
 	"repro/internal/pipeline"
+	"repro/internal/repcache"
 	"repro/internal/workload"
 )
 
@@ -115,7 +116,9 @@ func (a Assignment) ExecSec() float64 { return a.FinishSec - a.StartSec }
 
 // repKey memoizes engine reports per (engine, request shape, batch size):
 // engines are pure, so identical batch shapes share one simulation — across
-// pipelines too, when they declare a common EngineID.
+// pipelines too, when they declare a common EngineID. Keys are scoped to the
+// dispatcher's repcache.Group, so an EngineID names an engine only within
+// one fleet and two dispatchers never share (or collide on) reports.
 type repKey struct {
 	eng     string
 	in, out int
@@ -125,14 +128,16 @@ type repKey struct {
 // dispatcher is the policy layer shared by the event loop (trace-driven
 // admission, Run) and Dispatch (pre-formed plans, serving.Evaluate's path).
 // It is single-goroutine after prewarming, which keeps assignment
-// deterministic.
+// deterministic. Report memoization is delegated to a private
+// repcache.Group, whose per-key singleflight also serializes the prewarm
+// workers on identical shapes.
 type dispatcher struct {
 	m      model.Config
 	fleet  []Pipeline
 	policy Policy
 	freeAt []float64
 	engKey []string // memo group per fleet index
-	memo   map[repKey]pipeline.Report
+	group  *repcache.Group
 }
 
 func newDispatcher(m model.Config, fleet []Pipeline, policy Policy) (*dispatcher, error) {
@@ -164,7 +169,7 @@ func newDispatcher(m model.Config, fleet []Pipeline, policy Policy) (*dispatcher
 		policy: policy,
 		freeAt: make([]float64, len(fleet)),
 		engKey: engKey,
-		memo:   map[repKey]pipeline.Report{},
+		group:  repcache.NewGroup(),
 	}, nil
 }
 
@@ -174,13 +179,9 @@ func (d *dispatcher) shapeKey(p int, c workload.Class, size int) repKey {
 }
 
 func (d *dispatcher) report(p int, c workload.Class, size int) pipeline.Report {
-	k := d.shapeKey(p, c, size)
-	if rep, ok := d.memo[k]; ok {
-		return rep
-	}
-	rep := d.fleet[p].Run(pipeline.Request{Model: d.m, Batch: size, Context: c.Input, OutputLen: c.Output})
-	d.memo[k] = rep
-	return rep
+	return d.group.Do(d.shapeKey(p, c, size), func() pipeline.Report {
+		return d.fleet[p].Run(pipeline.Request{Model: d.m, Batch: size, Context: c.Input, OutputLen: c.Output})
+	})
 }
 
 // prewarmShape names one (pipeline, class, size) combination to simulate.
@@ -193,28 +194,26 @@ type prewarmShape struct {
 // prewarm simulates the given combinations on a worker pool before the
 // sequential event loop starts; the loop then runs entirely on memoized
 // reports for those shapes. Shapes deduplicate by memo key, so pipelines
-// sharing an EngineID simulate each shape once. Results are identical with
+// sharing an EngineID simulate each shape once; the group's singleflight
+// makes a concurrent duplicate harmless anyway. Results are identical with
 // or without prewarming — it only moves pure computations off the loop.
 func (d *dispatcher) prewarm(shapes []prewarmShape) {
 	var todo []prewarmShape
-	var todoKeys []repKey
 	seen := map[repKey]bool{}
 	for _, s := range shapes {
 		if s.size < 1 {
 			continue
 		}
 		k := d.shapeKey(s.p, s.c, s.size)
-		if _, ok := d.memo[k]; ok || seen[k] {
+		if seen[k] {
 			continue
 		}
 		seen[k] = true
 		todo = append(todo, s)
-		todoKeys = append(todoKeys, k)
 	}
 	if len(todo) == 0 {
 		return
 	}
-	reps := make([]pipeline.Report, len(todo))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(todo) {
 		workers = len(todo)
@@ -227,9 +226,7 @@ func (d *dispatcher) prewarm(shapes []prewarmShape) {
 			defer wg.Done()
 			for i := range queue {
 				s := todo[i]
-				reps[i] = d.fleet[s.p].Run(pipeline.Request{
-					Model: d.m, Batch: s.size, Context: s.c.Input, OutputLen: s.c.Output,
-				})
+				d.report(s.p, s.c, s.size)
 			}
 		}()
 	}
@@ -238,9 +235,6 @@ func (d *dispatcher) prewarm(shapes []prewarmShape) {
 	}
 	close(queue)
 	wg.Wait()
-	for i, k := range todoKeys {
-		d.memo[k] = reps[i]
-	}
 }
 
 // execSec returns the execution time for n jobs given the engine's

@@ -94,7 +94,7 @@ type Spec struct {
 
 var (
 	mu       sync.RWMutex
-	registry = map[System]Spec{}
+	registry = map[System]Spec{} // guarded by mu
 )
 
 // Register adds a system to the registry. It panics on an empty identifier,

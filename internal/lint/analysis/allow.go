@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// allowRe matches the suppression escape hatch:
+//
+//	//lint:allow <rule> <reason>
+//
+// The reason is free text and strongly encouraged (reviews read it), but the
+// match only requires the rule name so a missing reason never re-arms a
+// deliberately silenced diagnostic.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-zA-Z0-9_-]+)(?:\s+(.*))?$`)
+
+// Allows is the set of //lint:allow suppressions collected from one package,
+// resolved to three scopes:
+//
+//   - package: the comment sits in a file's package doc comment (or any
+//     comment group attached to the package clause) — the whole package is
+//     exempt from the rule;
+//   - decl: the comment sits in the doc comment of a top-level declaration —
+//     that declaration's source range is exempt;
+//   - line: any other comment — the comment's own line and the line directly
+//     below it are exempt, so both trailing and preceding placement work.
+type Allows struct {
+	fset *token.FileSet
+	pkg  map[string]bool
+	decl []declAllow
+	line map[lineKey]bool
+}
+
+type declAllow struct {
+	rule     string
+	pos, end token.Pos
+}
+
+type lineKey struct {
+	file string
+	line int
+	rule string
+}
+
+// CollectAllows scans the files' comments for //lint:allow directives.
+func CollectAllows(fset *token.FileSet, files []*ast.File) *Allows {
+	a := &Allows{
+		fset: fset,
+		pkg:  map[string]bool{},
+		line: map[lineKey]bool{},
+	}
+	for _, f := range files {
+		// Doc comments of top-level declarations suppress over the whole
+		// declaration; note which groups those are so the comment walk below
+		// can classify the rest as line-scoped.
+		declDoc := map[*ast.CommentGroup]*declAllow{}
+		for _, d := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				declDoc[doc] = &declAllow{pos: d.Pos(), end: d.End()}
+			}
+		}
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				rule := m[1]
+				switch {
+				case g == f.Doc:
+					a.pkg[rule] = true
+				case declDoc[g] != nil:
+					d := *declDoc[g]
+					d.rule = rule
+					a.decl = append(a.decl, d)
+				default:
+					pos := fset.Position(c.Pos())
+					a.line[lineKey{pos.Filename, pos.Line, rule}] = true
+					a.line[lineKey{pos.Filename, pos.Line + 1, rule}] = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Allowed reports whether a diagnostic of the given rule at pos is
+// suppressed.
+func (a *Allows) Allowed(rule string, pos token.Pos) bool {
+	if a.pkg[rule] {
+		return true
+	}
+	for _, d := range a.decl {
+		if d.rule == rule && pos >= d.pos && pos < d.end {
+			return true
+		}
+	}
+	p := a.fset.Position(pos)
+	return a.line[lineKey{p.Filename, p.Line, rule}]
+}
+
+// Filter drops suppressed diagnostics.
+func (a *Allows) Filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !a.Allowed(d.Rule, d.Pos) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Package analysis is a minimal, self-contained re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// for the repository's custom linters. The build environment is hermetic
+// (no module proxy), so the suite cannot depend on x/tools; the subset
+// implemented here is exactly what the four hilos-lint analyzers need, with
+// the same shape as the upstream API so a future migration is mechanical.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass and
+// reports Diagnostics. Scoping (which packages an analyzer patrols) and
+// suppression (//lint:allow comments) are handled by the framework, not by
+// each analyzer: Run functions always report every match they see.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and in
+	// //lint:allow <name> suppression comments.
+	Name string
+	// Doc describes the invariant the analyzer enforces. The first line is
+	// the one-line summary shown by `hilos-lint -list`.
+	Doc string
+	// Packages holds import-path substrings selecting the packages this
+	// analyzer patrols by default (e.g. "internal/sim"). Nil means every
+	// package. Test harnesses bypass the scope and run analyzers directly.
+	Packages []string
+	// Run inspects one package and reports diagnostics via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer's default scope covers the package
+// with the given import path.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if contains(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// NewPass assembles a Pass that appends diagnostics to sink.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink *[]Diagnostic) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, diags: sink}
+}
+
+// Reportf records one diagnostic at pos, tagged with the analyzer's name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pos,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/lint/analysis"
+)
+
+// FloatAccum enforces the numeric invariant of the attention kernels: long
+// reductions accumulate through the float64 Partial/Stats machinery (wide
+// running statistics, one conversion at the boundary), never by repeated
+// float32 `+=` in a loop, where error grows with sequence length and the
+// result depends on the accumulation schedule.
+//
+// The analyzer flags `+=`/`-=` on a float32 lvalue inside any for/range
+// loop. Kernels that model the accelerator's FP32 MAC datapath on purpose
+// (tensor.Dot's unrolled lanes, the Partial value accumulator itself)
+// declare that intent with a `//lint:allow floataccum <reason>` doc comment,
+// which doubles as documentation of the numeric contract.
+var FloatAccum = &analysis.Analyzer{
+	Name: "floataccum",
+	Doc: "forbid raw float32 loop accumulation outside the float64 Partial machinery\n\n" +
+		"Per-token softmax statistics and long reductions must accumulate in float64\n" +
+		"(attention.Partial / attention.Stats); float32 += in a loop silently loses\n" +
+		"precision as context length grows.",
+	Packages: []string{"internal/attention", "internal/tensor", "internal/fp16"},
+	Run:      runFloatAccum,
+}
+
+func runFloatAccum(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		// Record the source span of every for/range statement; an
+		// accumulation anywhere inside one (body or header) runs repeatedly.
+		type span struct{ pos, end token.Pos }
+		var loops []span
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, span{n.Pos(), n.End()})
+			}
+			return true
+		})
+		inLoop := func(p token.Pos) bool {
+			for _, l := range loops {
+				if p >= l.pos && p < l.end {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) || !inLoop(as.Pos()) {
+				return true
+			}
+			if tv, ok := info.Types[as.Lhs[0]]; ok {
+				if _, is32 := isFloat(tv.Type); is32 {
+					pass.Reportf(as.Pos(), "float32 accumulation in a loop; accumulate in float64 (attention.Partial/Stats) and convert once at the boundary, or declare the modeled FP32 datapath with //lint:allow floataccum <reason>")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

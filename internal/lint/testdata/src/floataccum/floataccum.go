@@ -1,0 +1,47 @@
+// Package floataccum exercises the float32 loop-accumulation rule.
+package floataccum
+
+func sum32(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s += x // want "float32 accumulation in a loop"
+	}
+	return s
+}
+
+// sum64 accumulates wide and converts once at the boundary: the sanctioned
+// pattern.
+func sum64(xs []float32) float32 {
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return float32(s)
+}
+
+// once is straight-line float32 arithmetic, not a loop accumulation.
+func once(a, b float32) float32 {
+	a += b
+	return a
+}
+
+func sub32(xs []float32) float32 {
+	var s float32
+	for i := 0; i < len(xs); i++ {
+		s -= xs[i] // want "float32 accumulation in a loop"
+	}
+	return s
+}
+
+// lanes deliberately models an FP32 MAC datapath; the decl-scope allow
+// covers every accumulation in the function.
+//
+//lint:allow floataccum fixture exercises decl-scope suppression
+func lanes(xs []float32) float32 {
+	var s0, s1 float32
+	for i := 0; i+1 < len(xs); i += 2 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+	}
+	return s0 + s1
+}

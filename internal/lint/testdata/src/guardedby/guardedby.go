@@ -1,0 +1,72 @@
+// Package guardedby exercises the `// guarded by <mu>` annotation checker.
+package guardedby
+
+import "sync"
+
+type cacheState struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *cacheState) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *cacheState) bad() int {
+	return c.n // want "n is guarded by mu but read without mu held"
+}
+
+func (c *cacheState) badWrite(v int) {
+	c.n = v // want "n is guarded by mu but written without mu held"
+}
+
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (r *rw) read(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *rw) write(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+// badRLockWrite holds only the read lock across a write.
+func (r *rw) badRLockWrite(k string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.m[k] = v // want "m is guarded by mu but written without mu held"
+}
+
+// construct builds the struct before it is shared: composite-literal keys
+// are initialization, not access.
+func construct() *rw {
+	return &rw{m: map[string]int{}}
+}
+
+var (
+	gmu   sync.Mutex
+	count int // guarded by gmu
+)
+
+func incr() {
+	gmu.Lock()
+	count++
+	gmu.Unlock()
+}
+
+func badIncr() {
+	count++ // want "count is guarded by gmu but written without gmu held"
+}
+
+type broken struct {
+	x int // guarded by nope want "not a field of this struct"
+}

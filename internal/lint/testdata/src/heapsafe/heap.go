@@ -1,0 +1,32 @@
+// Package heapsafe exercises the heap-ordering-field mutation rule. This
+// file plays the role of internal/sim's heap.go: it declares the comparison
+// functions, so mutations here are the heap maintaining itself.
+package heapsafe
+
+type item struct {
+	key int
+	id  int
+	val string
+}
+
+func lessKey(a, b *item) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.id < b.id
+}
+
+type pile struct{ items []*item }
+
+func (h *pile) Push(it *item) {
+	h.items = append(h.items, it)
+}
+
+func (h *pile) Fix(i int) {
+	_ = lessKey(h.items[0], h.items[i])
+}
+
+// reorder lives in the implementation file, so its direct mutation is fine.
+func (h *pile) reorder(it *item, k int) {
+	it.key = k
+}

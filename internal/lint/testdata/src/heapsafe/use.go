@@ -1,0 +1,25 @@
+package heapsafe
+
+func retune(it *item, k int) {
+	it.key = k // want "heap-ordering field key mutated outside"
+}
+
+func retuneID(it *item) {
+	it.id++ // want "heap-ordering field id mutated outside"
+}
+
+// retuneFixed re-heapifies after the mutation, restoring the invariant.
+func retuneFixed(h *pile, it *item, k int) {
+	it.key = k
+	h.Fix(0)
+}
+
+// rename touches a field no comparison function reads.
+func rename(it *item, s string) {
+	it.val = s
+}
+
+// suppressed documents a deliberate out-of-heap mutation.
+func suppressed(it *item, k int) {
+	it.key = k //lint:allow heapsafe fixture exercises line-scope suppression
+}

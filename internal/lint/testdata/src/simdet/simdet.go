@@ -1,0 +1,98 @@
+// Package simdet exercises every pattern the simdeterminism analyzer flags,
+// plus the deterministic idioms it must leave alone.
+package simdet
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()      // want "wall-clock time\.Now"
+	return time.Since(start) // want "wall-clock time\.Since"
+}
+
+func env() string {
+	return os.Getenv("HILOS_DEBUG") // want "process environment"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+func hardwareRand() []byte {
+	b := make([]byte, 8)
+	crand.Read(b) // want "crypto/rand"
+	return b
+}
+
+// seededRand draws from an explicitly seeded stream: reproducible, allowed.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside range over map"
+	}
+	return keys
+}
+
+// appendSorted is the collect-then-sort idiom: deterministic, not flagged.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sendOrder(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+func printOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt\.Println inside range over map"
+	}
+}
+
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "floating-point accumulation inside range over map"
+	}
+	return total
+}
+
+// intSum commutes exactly; integer accumulation is not flagged.
+func intSum(m map[string]int) int {
+	var total int
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// perKey updates are keyed by the range variable, so the result is
+// independent of iteration order.
+func perKey(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// suppressed shows the line-scope escape hatch.
+func suppressed() time.Time {
+	//lint:allow simdeterminism fixture exercises line-scope suppression
+	return time.Now()
+}

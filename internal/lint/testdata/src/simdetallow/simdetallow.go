@@ -1,0 +1,17 @@
+// Package simdetallow is exempt from simdeterminism wholesale: the
+// package-doc suppression below must silence every diagnostic in the file.
+//
+//lint:allow simdeterminism fixture exercises package-scope suppression
+package simdetallow
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

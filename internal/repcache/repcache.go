@@ -2,10 +2,10 @@
 // engine in this repository is a pure function of (testbed, request,
 // options) — the discrete-event substrate is fully deterministic — so
 // identical simulation points across experiment tables, sweep axes and
-// repeated benchmark iterations can share one run. It generalizes the
-// per-fleet memo of internal/cluster/dispatch.go: where that memo lives for
-// one dispatcher and keys on an engine label, this cache lives for the
-// process and keys on the complete comparable input of the run.
+// repeated benchmark iterations can share one run. The package-level
+// helpers key on the complete comparable input of a run; callers with
+// context-relative keys (internal/cluster's dispatcher, whose engine labels
+// are only meaningful within one fleet) scope them under a Group.
 //
 // Cached reports are shared: callers must treat them (including their
 // Breakdown/ResourceBusy maps and Trace slice) as immutable, the same
@@ -14,6 +14,7 @@ package repcache
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -49,13 +50,13 @@ type vllmKey struct {
 // the next caller simply retries.
 type entry struct {
 	mu   sync.Mutex
-	done bool
-	rep  pipeline.Report
+	done bool            // guarded by mu
+	rep  pipeline.Report // guarded by mu
 }
 
 var (
 	mu    sync.Mutex
-	cache = map[any]*entry{}
+	cache = map[any]*entry{} // guarded by mu
 )
 
 func memo(key any, compute func() pipeline.Report) pipeline.Report {
@@ -73,6 +74,38 @@ func memo(key any, compute func() pipeline.Report) pipeline.Report {
 		e.done = true
 	}
 	return e.rep
+}
+
+// Group is a private namespace over the process cache for callers whose
+// keys are only meaningful relative to some local context — e.g. one
+// cluster dispatcher's fleet, where the same engine label on two different
+// dispatchers names two different engines. Keys from distinct Groups never
+// collide; within a Group, Do has the same share-one-run singleflight
+// semantics as the package-level memo. Entries live for the process (and
+// count into Len / are dropped by Reset) like every other cached report.
+type Group struct {
+	id uint64
+}
+
+// groupKey namespaces a caller-owned key under one Group. The id keeps keys
+// from different Groups distinct even when the caller keys are equal.
+type groupKey struct {
+	id  uint64
+	key any
+}
+
+var nextGroupID atomic.Uint64
+
+// NewGroup returns a fresh namespace. Each call returns a distinct Group.
+func NewGroup() *Group {
+	return &Group{id: nextGroupID.Add(1)}
+}
+
+// Do returns the memoized report for key within the group, computing it on
+// first use. key must be comparable. Concurrent calls for the same key block
+// on the first and share its result; distinct keys compute in parallel.
+func (g *Group) Do(key any, compute func() pipeline.Report) pipeline.Report {
+	return memo(groupKey{id: g.id, key: key}, compute)
 }
 
 // CoreRun is a memoized core.Run.

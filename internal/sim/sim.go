@@ -163,10 +163,18 @@ func (r Result) Utilization(name string) float64 {
 
 // LabelShare returns label busy time as a fraction of the sum over all
 // labels, matching the stacked-percentage breakdowns in the paper's figures.
+// The total is summed over sorted keys: float addition is not associative,
+// so summing in map iteration order would make the last bits of the share
+// vary between runs (caught by hilos-lint's simdeterminism rule).
 func (r Result) LabelShare(label string) float64 {
+	labels := make([]string, 0, len(r.ByLabel))
+	for l := range r.ByLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
 	var total Time
-	for _, v := range r.ByLabel {
-		total += v
+	for _, l := range labels {
+		total += r.ByLabel[l]
 	}
 	if total <= 0 {
 		return 0
@@ -180,6 +188,8 @@ func (r Result) LabelShare(label string) float64 {
 // equivalence tests assert both produce identical Results on random DAGs —
 // and as the baseline the scheduler benchmarks measure speedups against.
 // Like Run, it may be called once per Engine and panics on cycles.
+//
+//lint:allow heapsafe predates the heaps and never stores tasks in one; Res.free is its own bookkeeping
 func (e *Engine) RunReference() Result {
 	if e.ran {
 		panic("sim: Run called twice")

@@ -72,6 +72,8 @@ func (m Mat) T() Mat {
 }
 
 // MatMul returns a·b. Panics on shape mismatch.
+//
+//lint:allow floataccum GEMM deliberately emulates the accelerator's FP32 accumulators
 func MatMul(a, b Mat) Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -110,6 +112,8 @@ func MatVec(m Mat, x []float32) []float32 {
 // loop is unrolled four-wide over independent partial sums — matching the
 // accelerator's parallel MAC lanes — which breaks the sequential add
 // dependency chain; the four lanes are reduced pairwise at the end.
+//
+//lint:allow floataccum unrolled lanes model the accelerator's parallel FP32 MACs
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: dot length %d != %d", len(a), len(b)))
@@ -138,6 +142,8 @@ func (m Mat) Scale(f float32) Mat {
 }
 
 // AddTo accumulates src into dst element-wise. Panics on shape mismatch.
+//
+//lint:allow floataccum element-wise FP32 add matches the residual-path datapath
 func AddTo(dst, src Mat) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic("tensor: add shape mismatch")
