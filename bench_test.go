@@ -8,6 +8,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/attention"
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/estimator"
@@ -17,7 +18,9 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/repcache"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
+	"repro/internal/workload"
 )
 
 // --- One benchmark per paper table/figure (DESIGN.md §3 index). Each
@@ -293,3 +296,70 @@ func BenchmarkCycleModelKernelTime(b *testing.B) {
 		}
 	}
 }
+
+// --- Cluster scheduling loop with and without the telemetry layer.
+// Synthetic constant-cost fleet so the measurement is the event loop and
+// instrumentation, not pipeline math. The Off variant is the regression
+// gate: telemetry must stay opt-in with near-zero disabled cost, and the
+// On/Off ratio is capped by hilos-bench.
+
+func clusterBenchInput(b *testing.B) (cluster.Config, []cluster.Request) {
+	b.Helper()
+	constRun := func(totalSec float64) cluster.RunFunc {
+		return func(req pipeline.Request) pipeline.Report {
+			return pipeline.Report{Batch: req.Batch, PrefillSec: totalSec, StepSec: 0}
+		}
+	}
+	cfg := cluster.Config{
+		Model: model.OPT30B,
+		Fleet: []cluster.Pipeline{
+			{Name: "hilos-0", Run: constRun(40)},
+			{Name: "hilos-1", Run: constRun(40)},
+			{Name: "hilos-2", Run: constRun(40)},
+			{Name: "dram-0", Run: constRun(15)},
+		},
+		Policy:    cluster.LeastLoaded,
+		Admission: cluster.Admission{MaxBatch: 8, MaxWaitSec: 20, Preemption: true},
+	}
+	arrivals, err := workload.BurstyArrivals(11, 4, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]cluster.Request, len(arrivals))
+	for i, at := range arrivals {
+		r := cluster.Request{ID: i, Class: workload.Medium, ArrivalSec: at}
+		if i%2 == 0 {
+			r.Class = workload.Short
+			r.Priority = 1
+			r.DeadlineSec = 120
+		}
+		reqs[i] = r
+	}
+	return cfg, reqs
+}
+
+func benchCluster(b *testing.B, instrument bool) {
+	cfg, reqs := clusterBenchInput(b)
+	if instrument {
+		reg := telemetry.NewRegistry()
+		stream := telemetry.NewStream()
+		defer stream.Close()
+		sub := stream.Subscribe(1024)
+		_ = sub
+		cfg.Telemetry = cluster.NewTelemetry(reg, stream)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := cluster.Run(cfg, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+func BenchmarkClusterTelemetryOff(b *testing.B) { benchCluster(b, false) }
+func BenchmarkClusterTelemetryOn(b *testing.B)  { benchCluster(b, true) }

@@ -70,6 +70,8 @@ type clusterConfig struct {
 	preemption bool
 	continuous bool
 	priorities []PriorityClass
+	telemetry  *ClusterTelemetry
+	pace       func(simSec float64)
 }
 
 type fleetSpec struct {
@@ -202,6 +204,29 @@ func WithContinuousBatching() ClusterOption {
 	}
 }
 
+// WithClusterTelemetry streams per-event metrics out of the scheduling
+// loop into the given sink (see NewClusterTelemetry). Telemetry never
+// feeds back into scheduling: the Summary is bit-identical with or without
+// it, and a nil sink is a no-op.
+func WithClusterTelemetry(t *ClusterTelemetry) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.telemetry = t
+		return nil
+	}
+}
+
+// WithClusterPace installs a pacing hook called with the simulated time of
+// each scheduler event before it executes — the boundary where a replay is
+// slaved to the wall clock (e.g. sleeping until sim time × replay speed has
+// elapsed). The hook must not mutate scheduling state; results are
+// independent of how long it blocks.
+func WithClusterPace(pace func(simSec float64)) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.pace = pace
+		return nil
+	}
+}
+
 // WithClusterTestbed replaces the default Table 1 testbed for every fleet
 // member (engine timing, pricing and energy attribution).
 func WithClusterTestbed(tb Testbed) ClusterOption {
@@ -284,9 +309,11 @@ func Cluster(m Model, reqs []TimedRequest, opts ...ClusterOption) (ClusterSummar
 	}
 
 	return cluster.Run(cluster.Config{
-		Model:  m,
-		Fleet:  fleet,
-		Policy: cfg.policy,
+		Model:     m,
+		Fleet:     fleet,
+		Policy:    cfg.policy,
+		Telemetry: cfg.telemetry,
+		Pace:      cfg.pace,
 		Admission: cluster.Admission{
 			MaxBatch:           cfg.maxBatch,
 			MaxWaitSec:         cfg.maxWaitSec,

@@ -24,6 +24,11 @@
 // ratio regresses more than -max-regress over the baseline's ratio, or if
 // the event-driven scheduler is no longer at least 5x faster than the
 // reference (the PR 4 acceptance floor).
+//
+// When the run includes BenchmarkClusterTelemetryOn/Off, the same guard
+// caps the cluster loop's enabled-telemetry overhead at 2x and compares
+// the on/off ratio against the baseline's (skipped for snapshots that
+// predate the telemetry layer).
 package main
 
 import (
@@ -61,6 +66,13 @@ const (
 	// minSpeedup is the acceptance floor: the event-driven scheduler must
 	// stay at least this many times faster than the retained reference.
 	minSpeedup = 5.0
+
+	telOffBench = "BenchmarkClusterTelemetryOff"
+	telOnBench  = "BenchmarkClusterTelemetryOn"
+	// maxTelemetryRatio caps ns(telemetry on)/ns(telemetry off) for the
+	// cluster loop: instrumentation must never come close to doubling the
+	// scheduler's cost even when fully enabled.
+	maxTelemetryRatio = 2.0
 )
 
 // benchLine matches `go test -bench` result lines, e.g.
@@ -136,6 +148,37 @@ func checkRegression(current, baseline benchFile, maxRegress float64) error {
 	}
 	if cur > base*(1+maxRegress) {
 		return fmt.Errorf("hilos-bench: scheduler regressed: ratio %.4f exceeds baseline %.4f by more than %.0f%%",
+			cur, base, 100*maxRegress)
+	}
+	return checkTelemetryOverhead(current, baseline, maxRegress)
+}
+
+// checkTelemetryOverhead enforces the observability guard: with both
+// telemetry cluster benchmarks present, the machine-independent on/off
+// ratio must stay under maxTelemetryRatio, and — once a baseline snapshot
+// records the ratio — must not regress past it by more than maxRegress.
+// Snapshots predating the telemetry layer (e.g. BENCH_PR4.json) simply
+// skip the baseline comparison.
+func checkTelemetryOverhead(current, baseline benchFile, maxRegress float64) error {
+	ratio := func(f benchFile) (float64, bool) {
+		on, okOn := f.Benchmarks[telOnBench]
+		off, okOff := f.Benchmarks[telOffBench]
+		if !okOn || !okOff || off.NsPerOp <= 0 {
+			return 0, false
+		}
+		return on.NsPerOp / off.NsPerOp, true
+	}
+	cur, ok := ratio(current)
+	if !ok {
+		fmt.Println("telemetry overhead check skipped (cluster telemetry benchmarks not in this run)")
+		return nil
+	}
+	fmt.Printf("cluster telemetry on/off ratio: current %.4f (cap %.1f)\n", cur, maxTelemetryRatio)
+	if cur > maxTelemetryRatio {
+		return fmt.Errorf("hilos-bench: telemetry overhead ratio %.2f exceeds the %.1f cap", cur, maxTelemetryRatio)
+	}
+	if base, ok := ratio(baseline); ok && cur > base*(1+maxRegress) {
+		return fmt.Errorf("hilos-bench: telemetry overhead regressed: ratio %.4f exceeds baseline %.4f by more than %.0f%%",
 			cur, base, 100*maxRegress)
 	}
 	return nil

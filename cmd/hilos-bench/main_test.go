@@ -84,3 +84,37 @@ func TestCheckRegression(t *testing.T) {
 		}
 	}
 }
+
+func telSnapshot(sched, ref, on, off float64) benchFile {
+	f := snapshot(sched, ref)
+	if on > 0 {
+		f.Benchmarks[telOnBench] = benchResult{NsPerOp: on}
+	}
+	if off > 0 {
+		f.Benchmarks[telOffBench] = benchResult{NsPerOp: off}
+	}
+	return f
+}
+
+func TestCheckTelemetryOverhead(t *testing.T) {
+	preTelemetryBase := snapshot(1e6, 17e6) // e.g. BENCH_PR4.json: no cluster entries
+	telBase := telSnapshot(1e6, 17e6, 1.1e6, 1e6)
+	cases := []struct {
+		name     string
+		current  benchFile
+		baseline benchFile
+		ok       bool
+	}{
+		{"benches absent: skip", snapshot(1e6, 17e6), preTelemetryBase, true},
+		{"under cap, no baseline ratio", telSnapshot(1e6, 17e6, 1.5e6, 1e6), preTelemetryBase, true},
+		{"over hard cap", telSnapshot(1e6, 17e6, 2.5e6, 1e6), preTelemetryBase, false},
+		{"within 20% of baseline ratio", telSnapshot(1e6, 17e6, 1.2e6, 1e6), telBase, true},
+		{"regressed vs baseline ratio", telSnapshot(1e6, 17e6, 1.9e6, 1e6), telBase, false},
+	}
+	for _, c := range cases {
+		err := checkRegression(c.current, c.baseline, 0.20)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

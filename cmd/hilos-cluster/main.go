@@ -15,7 +15,22 @@
 //	hilos-cluster -sweep 0.5,1,2,4               # arrival-rate sweep
 //	hilos-cluster -priority Short=1@15 -preempt  # online tier w/ deadline
 //	hilos-cluster -continuous                    # re-form batches at dispatch
+//	hilos-cluster -metrics-addr :8080            # live /metrics + /events
+//	hilos-cluster -trace-out cluster.json        # Chrome trace of the run
+//	hilos-cluster -replay-speed 60               # 1 wall second = 60 sim s
 //	hilos-cluster -list-systems
+//
+// Observability: -metrics-addr serves live stats over HTTP while runs
+// execute — GET /metrics returns a JSON snapshot of every counter, gauge
+// and histogram (cluster, sim and report-cache subsystems) plus event-
+// stream accounting, and GET /events streams newline-delimited JSON
+// scheduler events as they happen (bounded per-client buffers; laggards
+// drop events). -trace-out writes the last run's batch schedule as Chrome
+// trace JSON for chrome://tracing. -replay-speed slaves the simulated
+// clock to the wall clock at the given multiple (1 = real time) so /events
+// can be watched live; it delays event processing only and never changes
+// the schedule. -serve-linger keeps the stats server up after runs finish
+// so scripts can scrape the final state.
 //
 // Fleet syntax: comma-separated system[:count[xdevices]] terms — e.g.
 // "hilos:2x16" is two HILOS pipelines with 16 SmartSSDs each, "flex-dram:1"
@@ -44,9 +59,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	hilos "repro"
 )
@@ -68,6 +86,10 @@ func main() {
 	policy := flag.String("policy", "all", "dispatch policy, or \"all\" to compare")
 	sweep := flag.String("sweep", "", "comma-separated arrival rates to sweep (e.g. 0.5,1,2)")
 	listSystems := flag.Bool("list-systems", false, "list registered engine systems and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve live stats over HTTP on this address (GET /metrics, /events); :0 picks a free port")
+	traceOut := flag.String("trace-out", "", "write the last run's batch schedule as Chrome trace JSON to this file")
+	replaySpeed := flag.Float64("replay-speed", 0, "slave the simulated clock to the wall clock at this multiple (1 = real time; 0 = fast-forward)")
+	serveLinger := flag.Float64("serve-linger", 0, "with -metrics-addr, keep serving this many seconds after runs complete")
 	flag.Parse()
 
 	if *listSystems {
@@ -88,6 +110,28 @@ func main() {
 	prioOpts, err := parsePriorities(*priority)
 	check(err)
 
+	// Observability: one registry/stream pair spans every run of the
+	// invocation (sweeps and policy comparisons accumulate), so /metrics
+	// scraped mid-sweep shows live totals.
+	var reg *hilos.MetricsRegistry
+	var stream *hilos.EventStream
+	var telOpts []hilos.ClusterOption
+	if *metricsAddr != "" {
+		reg = hilos.NewMetricsRegistry()
+		stream = hilos.NewEventStream()
+		hilos.EnableSimTelemetry(reg, stream)
+		hilos.EnableCacheMetrics(reg)
+		telOpts = append(telOpts, hilos.WithClusterTelemetry(hilos.NewClusterTelemetry(reg, stream)))
+		ln, err := net.Listen("tcp", *metricsAddr)
+		check(err)
+		fmt.Printf("live stats on http://%s (GET /metrics, /events)\n", ln.Addr())
+		srv := &http.Server{Handler: hilos.TelemetryHandler(reg, stream)}
+		go func() { _ = srv.Serve(ln) }()
+	}
+	if *replaySpeed > 0 {
+		telOpts = append(telOpts, hilos.WithClusterPace(newPacer(*replaySpeed)))
+	}
+
 	rates := []float64{*rate}
 	if *sweep != "" {
 		rates = nil
@@ -101,6 +145,9 @@ func main() {
 		}
 	}
 
+	var lastSummary hilos.ClusterSummary
+	var lastLabel string
+	haveSummary := false
 	for _, r := range rates {
 		reqs, label, err := loadTrace(*traceFile, *seed, *n, r, process)
 		check(err)
@@ -122,6 +169,7 @@ func main() {
 				hilos.WithDispatchPolicy(p),
 			)
 			opts = append(opts, prioOpts...)
+			opts = append(opts, telOpts...)
 			if *preempt {
 				opts = append(opts, hilos.WithPreemption())
 			}
@@ -131,8 +179,53 @@ func main() {
 			s, err := hilos.Cluster(m, reqs, opts...)
 			check(err)
 			printSummary(s)
+			lastSummary, lastLabel, haveSummary = s, fmt.Sprintf("%s | %s", label, s.Policy), true
 		}
 		fmt.Println()
+	}
+
+	if *traceOut != "" {
+		if !haveSummary {
+			check(fmt.Errorf("-trace-out: no run to export"))
+		}
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(hilos.WriteClusterTrace(f, lastSummary, lastLabel))
+		check(f.Close())
+		fmt.Printf("wrote cluster trace to %s (open in chrome://tracing)\n", *traceOut)
+	}
+	if stream != nil {
+		// Terminate /events clients: their NDJSON responses end when the
+		// stream closes, so scripted curls don't hang on a finished replay.
+		defer stream.Close()
+		if *serveLinger > 0 {
+			fmt.Printf("runs complete; serving stats for another %gs\n", *serveLinger)
+			time.Sleep(time.Duration(*serveLinger * float64(time.Second)))
+		}
+	}
+}
+
+// newPacer returns a pacing hook that slaves the simulated clock to the
+// wall clock at the given speed multiple: before each scheduler event it
+// sleeps until (simSec elapsed)/speed of wall time has passed since the
+// first event. This is the replay boundary — the only place the toolchain
+// touches the wall clock — and it delays event processing only; the
+// schedule is bit-identical at any speed.
+//
+//lint:allow simdeterminism real-time replay pacing is the wall-clock serving boundary; the hook only delays event processing and never feeds back into scheduling
+func newPacer(speed float64) func(simSec float64) {
+	var start time.Time
+	var base float64
+	started := false
+	return func(simSec float64) {
+		if !started {
+			started, start, base = true, time.Now(), simSec
+			return
+		}
+		target := time.Duration((simSec - base) / speed * float64(time.Second))
+		if d := target - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
 	}
 }
 
@@ -296,10 +389,19 @@ func printSummary(s hilos.ClusterSummary) {
 	for _, ps := range s.Pipelines {
 		fmt.Printf("    %-16s %3d batches %4d jobs  busy %8.1fs  util %5.1f%%  $%.4f  %.1fkJ",
 			ps.Name, ps.Batches, ps.Jobs, ps.BusySec, 100*ps.Utilization, ps.CostUSD, ps.EnergyJ/1e3)
+		if ps.WriteBytes > 0 {
+			fmt.Printf("  wrote %.1fGB", ps.WriteBytes/1e9)
+			if ps.WearPct > 0 {
+				fmt.Printf(" (%.4f%% PBW, %.0fMB/s)", ps.WearPct, ps.WritePressureBps/1e6)
+			}
+		}
 		if ps.EnergyErr != "" {
 			fmt.Printf("  (energy: %s)", ps.EnergyErr)
 		}
 		fmt.Println()
+	}
+	if s.TotalWriteBytes > 0 {
+		fmt.Printf("    flash writes total %.1fGB\n", s.TotalWriteBytes/1e9)
 	}
 }
 

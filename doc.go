@@ -171,6 +171,57 @@
 // 20% headroom by default, widened to 50% in CI for cross-runner
 // variance), or if the speedup falls below the hard 5x acceptance floor.
 //
+// # Observability
+//
+// The telemetry layer (internal/telemetry, re-exported here) is
+// zero-dependency and strictly passive: counters, gauges, fixed-bucket
+// histograms in a MetricsRegistry, plus an EventStream that fans
+// simulated-clock events out to bounded subscribers. Three contracts hold
+// everywhere telemetry touches the simulators:
+//
+//   - Determinism: every timestamp is simulated-clock seconds, and metrics
+//     never feed back into scheduling — a run with telemetry attached
+//     produces a bit-identical Summary to a run without
+//     (FuzzClusterTelemetryParity pins this on a checked-in corpus).
+//   - Non-blocking: Publish never waits on a subscriber. A laggard's
+//     events are dropped and counted (Subscriber.Dropped, StreamStats),
+//     never buffered unboundedly, never backpressured into the hot loop.
+//   - Zero disabled cost: a nil registry, stream, or sink is a no-op on
+//     every method, so uninstrumented runs pay one nil check per event.
+//     BenchmarkClusterTelemetryOff/On measure the cluster loop both ways,
+//     and hilos-bench caps the enabled overhead ratio at 2x.
+//
+// Metric names are dot-separated subsystem prefixes. The cluster scheduler
+// (WithClusterTelemetry) emits cluster.arrivals, cluster.rejections,
+// cluster.dispatched_batches/_jobs, cluster.preempted_batches/_jobs,
+// cluster.completed_jobs, cluster.failed_batches/_jobs,
+// cluster.deadline_misses, the cluster.delay_sec histogram,
+// cluster.queue_depth.p<prio>.<class> gauges, cluster.makespan_sec,
+// cluster.total_write_bytes, and per-pipeline
+// cluster.pipeline.<name>.{busy_sec, utilization, write_bytes, wear_pct,
+// write_pressure_bps} gauges. The discrete-event engines
+// (EnableSimTelemetry) emit sim.tasks_scheduled and sim.resource_busy_sec;
+// the report cache (EnableCacheMetrics) emits repcache.hits,
+// repcache.misses and repcache.coalesced. Event kinds on the stream are
+// arrival, reject, dispatch, preempt, fail, task and resource_busy.
+//
+// Counters and live queue-depth gauges update as the event loop runs;
+// schedule-dependent metrics (completions, deadline misses, the delay
+// histogram, per-pipeline gauges) are finalized from the settled Summary,
+// so a snapshot taken after the run always agrees with it exactly.
+//
+// cmd/hilos-cluster serves the layer over HTTP: -metrics-addr exposes
+// GET /metrics (registry snapshot plus stream accounting as JSON) and
+// GET /events (newline-delimited JSON event stream; ?max=N, ?buf=N), and
+// -trace-out writes the last run's batch schedule as Chrome trace-event
+// JSON for chrome://tracing or Perfetto (WriteClusterTrace; per-DAG
+// timelines via WriteChrome in internal/trace). -replay-speed slaves the
+// simulated clock to the wall clock at a multiple — the pacing hook is the
+// one sanctioned wall-clock boundary, it lives in cmd (not in any
+// simulation package) behind a //lint:allow simdeterminism annotation, and
+// it only delays event processing: the schedule is bit-identical at any
+// speed.
+//
 // # Invariants
 //
 // Three conventions hold everywhere in this repository, and the

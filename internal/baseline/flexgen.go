@@ -113,6 +113,7 @@ func (v FlexVariant) Run(tb device.Testbed, req pipeline.Request) pipeline.Repor
 
 	// --- Decode step task graph ---
 	e := sim.NewEngine()
+	e.RecordTimeline(!req.NoTrace)
 	gpu := e.Resource(pipeline.ResGPU, 1)
 	cpu := e.Resource(pipeline.ResCPU, 1)
 	gpuLink := e.Resource(pipeline.ResGPULink, linkBW)

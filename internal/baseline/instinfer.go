@@ -82,6 +82,7 @@ func (e instEngine) Run(req pipeline.Request) pipeline.Report {
 	waf := tb.SmartSSD.SSD.WriteAmplification(entryChunk)
 
 	e2 := sim.NewEngine()
+	e2.RecordTimeline(!req.NoTrace)
 	gpu := e2.Resource(pipeline.ResGPU, 1)
 	gpuLink := e2.Resource(pipeline.ResGPULink, tb.Topo.GPULink.BW)
 	uplink := e2.Resource(pipeline.ResUplink, tb.Topo.StorageUplink.BW)

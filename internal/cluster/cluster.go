@@ -39,6 +39,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/endurance"
 	"repro/internal/energy"
 	"repro/internal/model"
 	"repro/internal/stats"
@@ -106,6 +107,16 @@ type Config struct {
 	Fleet     []Pipeline
 	Policy    Policy
 	Admission Admission
+
+	// Telemetry, when non-nil, streams per-event metrics and events out of
+	// the loop (see NewTelemetry). It never feeds back into scheduling:
+	// runs with and without it produce bit-identical Summaries.
+	Telemetry *Telemetry
+	// Pace, when non-nil, is called with the simulated time of each event
+	// before the event executes — the hook where a replay is slaved to the
+	// wall clock at the serving boundary. It must not mutate scheduling
+	// state; the loop's outcome is independent of how long Pace blocks.
+	Pace func(simSec float64)
 }
 
 // PipelineStats attributes completed work to one fleet member.
@@ -126,6 +137,18 @@ type PipelineStats struct {
 	// EnergyErr records the first energy-integration failure (e.g. a
 	// misconfigured EnergyConfig), so a 0 EnergyJ is never silently wrong.
 	EnergyErr string
+	// WriteBytes is the physical flash bytes written executing this
+	// pipeline's completed work (prefill KV spills plus per-step decode
+	// writeback, from the engine's Report write accounting; 0 for
+	// DRAM-resident engines).
+	WriteBytes float64
+	// WearPct is WriteBytes as a percentage of the pipeline's total §6.6
+	// endurance budget (Devices × endurance.DefaultPBW petabytes written);
+	// 0 when the engine reports no flash devices.
+	WearPct float64
+	// WritePressureBps is the average write bandwidth demanded while busy
+	// (WriteBytes / BusySec) — the writeback pressure the FTL must absorb.
+	WritePressureBps float64
 }
 
 // PriorityStats attributes scheduling outcomes to one priority class.
@@ -211,6 +234,9 @@ type Summary struct {
 	// TotalCostUSD and TotalEnergyJ sum the per-pipeline attributions.
 	TotalCostUSD float64
 	TotalEnergyJ float64
+	// TotalWriteBytes sums per-pipeline flash write volume — endurance
+	// next to latency and cost in the same run output.
+	TotalWriteBytes float64
 }
 
 // Throughput returns output tokens per second over the makespan.
@@ -275,6 +301,7 @@ func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, st
 
 	var delays []float64
 	prioDelays := map[int][]float64{}
+	devices := make([]int, len(cfg.Fleet))
 	for _, a := range asgs {
 		s.Batches++
 		n := len(a.Batch.JobIDs)
@@ -293,6 +320,10 @@ func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, st
 		ps.OutputTokens += toks
 		s.OutputTokens += toks
 		s.PerClassSec[a.Batch.Class.Name] += sec
+		ps.WriteBytes += assignmentWriteBytes(a)
+		if a.Report.Devices > devices[a.Pipeline] {
+			devices[a.Pipeline] = a.Report.Devices
+		}
 		p := cfg.Fleet[a.Pipeline]
 		ps.CostUSD += p.USDPerHour / 3600 * sec
 		if p.Energy != nil {
@@ -326,13 +357,25 @@ func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, st
 	}
 	s.Admitted = s.Requests - s.RejectedJobs
 	s.Completed = s.Admitted - s.FailedJobs
+	// IDs accumulate in scheduling order (rejections by arrival, failures
+	// by dispatch); emit them sorted so consumers and golden files see one
+	// canonical order.
+	sort.Ints(s.RejectedJobIDs)
+	sort.Ints(s.FailedJobIDs)
 	for i := range s.Pipelines {
 		ps := &s.Pipelines[i]
 		if s.MakespanSec > 0 {
 			ps.Utilization = ps.BusySec / s.MakespanSec
 		}
+		if ps.BusySec > 0 {
+			ps.WritePressureBps = ps.WriteBytes / ps.BusySec
+		}
+		if devices[i] > 0 {
+			ps.WearPct = 100 * ps.WriteBytes / (float64(devices[i]) * endurance.PBWBytes(endurance.DefaultPBW))
+		}
 		s.TotalCostUSD += ps.CostUSD
 		s.TotalEnergyJ += ps.EnergyJ
+		s.TotalWriteBytes += ps.WriteBytes
 	}
 	s.DelayMeanSec = stats.Mean(delays)
 	s.DelayP50Sec = stats.Percentile(delays, 50)
@@ -353,5 +396,25 @@ func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, st
 		ps.DelayP99Sec = stats.Percentile(d, 99)
 		s.PerPriority = append(s.PerPriority, *ps)
 	}
+	cfg.Telemetry.finalize(s)
 	return s
+}
+
+// assignmentWriteBytes estimates the physical flash bytes written executing
+// one assignment from its engine report's write accounting: ceil(n/batch)
+// passes, each writing the prefill KV spill plus the per-step decode
+// writeback over the class's decode steps. The tail pass is charged at the
+// full-size report's rate, consistent with execSec's pass accounting.
+func assignmentWriteBytes(a Assignment) float64 {
+	rep := a.Report
+	if rep.Batch < 1 {
+		return 0
+	}
+	n := len(a.Batch.JobIDs)
+	passes := float64((n + rep.Batch - 1) / rep.Batch)
+	steps := a.Batch.Class.Output - 1
+	if steps < 0 {
+		steps = 0
+	}
+	return passes * (rep.PrefillWriteBytes + rep.DecodeWriteBytesPerStep*float64(steps))
 }

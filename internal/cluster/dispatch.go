@@ -180,7 +180,10 @@ func (d *dispatcher) shapeKey(p int, c workload.Class, size int) repKey {
 
 func (d *dispatcher) report(p int, c workload.Class, size int) pipeline.Report {
 	return d.group.Do(d.shapeKey(p, c, size), func() pipeline.Report {
-		return d.fleet[p].Run(pipeline.Request{Model: d.m, Batch: size, Context: c.Input, OutputLen: c.Output})
+		// Scheduling reads only scalar timing/capacity fields; skip the
+		// per-task timeline so prewarming a fleet doesn't retain one
+		// timeline per (pipeline, class, size) shape.
+		return d.fleet[p].Run(pipeline.Request{Model: d.m, Batch: size, Context: c.Input, OutputLen: c.Output, NoTrace: true})
 	})
 }
 

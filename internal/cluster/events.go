@@ -77,7 +77,11 @@ func (l *eventLoop) push(e event) {
 func (l *eventLoop) run() {
 	for l.events.Len() > 0 {
 		e := l.events.pop()
+		if l.cfg.Pace != nil && e.at > l.now {
+			l.cfg.Pace(e.at)
+		}
 		l.now = e.at
+		l.cfg.Telemetry.tick(l.now)
 		l.compact()
 		switch e.kind {
 		case evArrival:
@@ -143,6 +147,7 @@ func (l *eventLoop) arrive(r Request) {
 		}
 		if l.backlog(minPrio) >= cap {
 			l.rejected = append(l.rejected, r.ID)
+			l.cfg.Telemetry.onReject(r)
 			return
 		}
 	}
@@ -157,6 +162,8 @@ func (l *eventLoop) arrive(r Request) {
 			dl: r.ArrivalSec + l.cfg.Admission.MaxWaitSec})
 	}
 	q.reqs = append(q.reqs, r)
+	l.cfg.Telemetry.onArrival(r)
+	l.cfg.Telemetry.onQueueDepth(k, len(q.reqs))
 	if l.cfg.Admission.Preemption && r.DeadlineSec > 0 {
 		l.push(event{at: r.StartDeadline(), kind: evDeadline, req: r})
 	}
@@ -239,6 +246,7 @@ func minDeadline(b BatchJob) float64 {
 func (l *eventLoop) closeQueue(q *classQueue, release float64) {
 	b := makeBatch(q.key, q.reqs, release)
 	q.reqs = nil
+	l.cfg.Telemetry.onQueueDepth(q.key, 0)
 	l.place(b)
 }
 
@@ -251,12 +259,14 @@ func (l *eventLoop) commitSlot(b BatchJob, pl placement) *slot {
 	l.d.freeAt[pl.p] = s.finish
 	l.chains[pl.p] = append(l.chains[pl.p], s)
 	l.order = append(l.order, s)
+	l.cfg.Telemetry.onDispatch(l.now, s, l.cfg.Fleet[pl.p].Name)
 	return s
 }
 
 // failSlot records a batch no pipeline could place.
 func (l *eventLoop) failSlot(b BatchJob, reason string) {
 	l.order = append(l.order, &slot{b: b, pipe: -1, reason: reason})
+	l.cfg.Telemetry.onFail(l.now, b, reason)
 }
 
 // place dispatches a closed batch (close-at-admission mode). Under
@@ -347,6 +357,7 @@ func (l *eventLoop) preemptInto(p int, b BatchJob) {
 		l.tally.batches++
 		l.tally.jobs += len(ev.b.JobIDs)
 		l.tally.byPrio[ev.b.Priority] += len(ev.b.JobIDs)
+		l.cfg.Telemetry.onPreempt(l.now, ev, b.Priority, l.cfg.Fleet[p].Name)
 	}
 	for _, ev := range evicted {
 		nb := ev.b
@@ -450,6 +461,7 @@ func (l *eventLoop) tryDispatch() {
 // max-wait timer for the new head.
 func (l *eventLoop) takeFromQueue(q *classQueue, n int) {
 	q.reqs = append([]Request(nil), q.reqs[n:]...)
+	l.cfg.Telemetry.onQueueDepth(q.key, len(q.reqs))
 	if len(q.reqs) > 0 {
 		dl := q.waitDeadline(l.cfg.Admission.MaxWaitSec)
 		at := dl

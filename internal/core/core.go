@@ -141,7 +141,7 @@ func Run(tb device.Testbed, req pipeline.Request, opt Options) pipeline.Report {
 	}
 	rep.Batch = bs
 
-	step, bd, busy, writes, rec := decodeStep(tb, m, bs, req.Context, alpha, opt)
+	step, bd, busy, writes, rec := decodeStep(tb, m, bs, req.Context, alpha, opt, !req.NoTrace)
 	rep.StepSec = step
 	rep.Breakdown = bd
 	rep.ResourceBusy = busy
@@ -173,10 +173,12 @@ func Run(tb device.Testbed, req pipeline.Request, opt Options) pipeline.Report {
 }
 
 // decodeStep builds and schedules the steady-state decoding step graph.
-func decodeStep(tb device.Testbed, m model.Config, bs, ctx int, alpha float64, opt Options) (
+// record=false skips timeline retention (Request.NoTrace).
+func decodeStep(tb device.Testbed, m model.Config, bs, ctx int, alpha float64, opt Options, record bool) (
 	stepSec float64, breakdown, busy map[string]float64, physWrites float64, records []sim.TaskRecord) {
 
 	e := sim.NewEngine()
+	e.RecordTimeline(record)
 	gpu := e.Resource(pipeline.ResGPU, 1)
 	cpu := e.Resource(pipeline.ResCPU, 1)
 	gpuLink := e.Resource(pipeline.ResGPULink, tb.Topo.GPULink.BW)

@@ -12,6 +12,11 @@ import (
 	"repro/internal/workload"
 )
 
+// DefaultPBW is the per-device endurance rating used when a caller has no
+// measured value: 7.008 petabytes written per 3.84 TB SmartSSD with 3-month
+// retention relaxation, §6.6.
+const DefaultPBW = 7.008
+
 // PBWBytes converts the paper's petabytes-written rating to bytes
 // (7.008 PBW per 3.84 TB SmartSSD with 3-month retention, §6.6).
 func PBWBytes(pbw float64) float64 { return pbw * 1e15 }

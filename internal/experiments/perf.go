@@ -10,8 +10,10 @@ import (
 	"repro/internal/repcache"
 )
 
+// request builds a sweep point. Sweeps only read scalar report fields, so
+// per-task timelines are not retained (NoTrace).
 func request(m model.Config, bs, ctx int) pipeline.Request {
-	return pipeline.Request{Model: m, Batch: bs, Context: ctx, OutputLen: 64}
+	return pipeline.Request{Model: m, Batch: bs, Context: ctx, OutputLen: 64, NoTrace: true}
 }
 
 // The perf generators evaluate their sweep points on the experiments worker

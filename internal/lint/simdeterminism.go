@@ -37,7 +37,7 @@ var SimDeterminism = &analysis.Analyzer{
 		"The replay invariant — identical inputs produce bit-identical tables — only\n" +
 		"holds if no simulation package reads time.Now, the process environment, the\n" +
 		"global math/rand source, or iterates a map where order can reach an output.",
-	Packages: []string{"internal/sim", "internal/cluster", "internal/serving", "internal/experiments"},
+	Packages: []string{"internal/sim", "internal/cluster", "internal/serving", "internal/experiments", "internal/telemetry", "cmd/hilos-cluster"},
 	Run:      runSimDeterminism,
 }
 

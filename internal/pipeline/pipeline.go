@@ -39,6 +39,12 @@ type Request struct {
 	Batch     int // requested batch size (systems may shrink it to fit)
 	Context   int // prompt length s
 	OutputLen int // generated tokens n
+	// NoTrace asks the engine not to retain the per-task decode timeline
+	// (Report.Trace stays nil). Sweeps and cache prewarming that only read
+	// scalar results set it to skip the per-task allocation; timing,
+	// Breakdown and ResourceBusy are unaffected. Part of the request's
+	// identity, so cached traced and untraced reports never alias.
+	NoTrace bool
 }
 
 // Validate reports malformed requests.

@@ -20,7 +20,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
+
+// cacheMetrics counts memo outcomes: a miss computes, a hit returns a
+// finished entry, a coalesced call piggybacks on a compute already in
+// flight (singleflight sharing). Held behind an atomic pointer so the
+// disabled path costs one load.
+type cacheMetrics struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	coalesced *telemetry.Counter
+}
+
+var metrics atomic.Pointer[cacheMetrics]
+
+// EnableMetrics wires the cache's hit/miss/singleflight-coalesced counters
+// into reg ("repcache.hits", "repcache.misses", "repcache.coalesced"). A
+// nil reg disables them again.
+func EnableMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&cacheMetrics{
+		hits:      reg.Counter("repcache.hits"),
+		misses:    reg.Counter("repcache.misses"),
+		coalesced: reg.Counter("repcache.coalesced"),
+	})
+}
 
 // coreKey identifies one HILOS core.Run invocation.
 type coreKey struct {
@@ -52,6 +80,11 @@ type entry struct {
 	mu   sync.Mutex
 	done bool            // guarded by mu
 	rep  pipeline.Report // guarded by mu
+	// ready mirrors done for lock-free metric classification: a creator
+	// that finds ready already set counts a hit instead of a coalesced
+	// wait. Set only after compute returns (like done), so a panicking
+	// compute leaves it clear.
+	ready atomic.Bool
 }
 
 var (
@@ -67,11 +100,26 @@ func memo(key any, compute func() pipeline.Report) pipeline.Report {
 		cache[key] = e
 	}
 	mu.Unlock()
+	if m := metrics.Load(); m != nil {
+		switch {
+		case !ok:
+			m.misses.Inc()
+		case e.ready.Load():
+			m.hits.Inc()
+		default:
+			// The entry exists but its compute has not finished: this call
+			// will block on the entry lock and share the in-flight result.
+			// (A compute that panicked and is being retried miscounts as
+			// coalesced — acceptable for an approximate counter.)
+			m.coalesced.Inc()
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.done {
 		e.rep = compute()
 		e.done = true
+		e.ready.Store(true)
 	}
 	return e.rep
 }

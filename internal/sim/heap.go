@@ -200,6 +200,7 @@ func (e *Engine) Run() Result {
 		panic("sim: Run called twice")
 	}
 	e.ran = true
+	tel := e.telemetrySink()
 
 	nilRes := e.runQueues()
 	var rh resHeap
@@ -287,6 +288,9 @@ func (e *Engine) Run() Result {
 				Label: t.Label, Resource: resName, Start: t.start, Finish: t.finish,
 			})
 		}
+		if tel != nil {
+			tel.observeTask(t)
+		}
 
 		for _, s := range t.succ {
 			if t.finish > s.ready {
@@ -300,6 +304,9 @@ func (e *Engine) Run() Result {
 	}
 	for _, r := range e.resources {
 		res.ResourceBusy[r.Name] = r.busy
+	}
+	if tel != nil {
+		tel.observeRun(e, res.Makespan)
 	}
 	return res
 }

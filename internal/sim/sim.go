@@ -83,6 +83,7 @@ type Engine struct {
 	tasks     []*Task
 	ran       bool
 	noRecords bool
+	tel       *Telemetry
 }
 
 // NewEngine returns an empty simulation.
@@ -195,6 +196,7 @@ func (e *Engine) RunReference() Result {
 		panic("sim: Run called twice")
 	}
 	e.ran = true
+	tel := e.telemetrySink()
 
 	pending := make([]*Task, len(e.tasks))
 	copy(pending, e.tasks)
@@ -252,9 +254,15 @@ func (e *Engine) RunReference() Result {
 				Label: t.Label, Resource: resName, Start: t.start, Finish: t.finish,
 			})
 		}
+		if tel != nil {
+			tel.observeTask(t)
+		}
 	}
 	for _, r := range e.resources {
 		res.ResourceBusy[r.Name] = r.busy
+	}
+	if tel != nil {
+		tel.observeRun(e, res.Makespan)
 	}
 	return res
 }

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves live stats over HTTP:
+//
+//	GET /metrics  — one JSON document: {"metrics": Snapshot, "stream": StreamStats}
+//	GET /events   — newline-delimited JSON, one Event per line, streamed as
+//	                published. Ends when the client disconnects, the stream
+//	                closes, or ?max=N events have been sent. ?buf=N sizes
+//	                the subscriber buffer (default 1024); events beyond the
+//	                buffer are dropped, never buffered unboundedly.
+//
+// Either argument may be nil: a nil registry yields empty metrics, a nil
+// stream yields an /events endpoint that returns immediately. The handler
+// reads no clocks — timestamps in the payload are the simulated times the
+// producers stamped.
+func Handler(reg *Registry, stream *Stream) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Metrics Snapshot    `json:"metrics"`
+			Stream  StreamStats `json:"stream"`
+		}{reg.Snapshot(), stream.Stats()})
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		max := 0 // 0 = unlimited
+		if v := r.URL.Query().Get("max"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad max", http.StatusBadRequest)
+				return
+			}
+			max = n
+		}
+		buf := 1024
+		if v := r.URL.Query().Get("buf"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				http.Error(w, "bad buf", http.StatusBadRequest)
+				return
+			}
+			buf = n
+		}
+		sub := stream.Subscribe(buf)
+		defer sub.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		sent := 0
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case e, ok := <-sub.Events():
+				if !ok {
+					return
+				}
+				if err := enc.Encode(e); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				sent++
+				if max > 0 && sent >= max {
+					return
+				}
+			}
+		}
+	})
+	return mux
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+)
+
+// WriteClusterChrome serializes a cluster run's batch schedule as Chrome
+// trace JSON: one thread lane per fleet pipeline, one complete ("X") event
+// per placed batch named by its class, job count and priority, spanning the
+// batch's simulated start→finish. Failed batches (no pipeline could place
+// them) have no timeline and are counted in the metadata instead. Load the
+// file at chrome://tracing or in Perfetto.
+func WriteClusterChrome(w io.Writer, s cluster.Summary, label string) error {
+	if len(s.Assignments) == 0 {
+		return fmt.Errorf("trace: summary has no assignments")
+	}
+
+	type nameArgs struct {
+		Name string `json:"name"`
+	}
+	all := make([]any, 0, len(s.Pipelines)+len(s.Assignments))
+	for i, ps := range s.Pipelines {
+		all = append(all, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": i + 1,
+			"args": nameArgs{Name: ps.Name},
+		})
+	}
+	failed := 0
+	for _, a := range s.Assignments {
+		if a.Pipeline < 0 {
+			failed++
+			continue
+		}
+		all = append(all, event{
+			Name: fmt.Sprintf("%s×%d p%d", a.Batch.Class.Name, len(a.Batch.JobIDs), a.Batch.Priority),
+			Ph:   "X",
+			Ts:   a.StartSec * 1e6,
+			Dur:  (a.FinishSec - a.StartSec) * 1e6,
+			Pid:  1,
+			Tid:  a.Pipeline + 1,
+		})
+	}
+
+	meta := map[string]string{"description": label}
+	if failed > 0 {
+		meta["failedBatches"] = fmt.Sprintf("%d", failed)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     all,
+		"displayTimeUnit": "ms",
+		"metadata":        meta,
+	})
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\ngot:  %s\nwant: %s", name, got, want)
+	}
+}
+
+// The Chrome export of a small fixed DAG is byte-stable: lane assignment is
+// sorted, event order is schedule order, and encoding/json orders map keys.
+func TestWriteChromeGolden(t *testing.T) {
+	e := sim.NewEngine()
+	gpu := e.Resource("gpu", 1)
+	ssd := e.Resource("ssd", 2)
+	load := e.Task("load", ssd, 4)
+	mm := e.Task("matmul", gpu, 3, load)
+	store := e.Task("store", ssd, 2, mm)
+	e.Delay("sync", 0.5, store)
+	res := e.Run()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, res.Tasks, "golden DAG"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_dag.golden.json", buf.Bytes())
+}
+
+// The cluster export is a pure function of the Summary: pipelines become
+// lanes in fleet order, placed batches become "X" events in dispatch order,
+// failed batches are counted in metadata.
+func TestWriteClusterChromeGolden(t *testing.T) {
+	s := cluster.Summary{
+		Pipelines: []cluster.PipelineStats{{Name: "hilos-0"}, {Name: "dram-1"}},
+		Assignments: []cluster.Assignment{
+			{
+				Batch:    cluster.BatchJob{Class: workload.Short, JobIDs: []int{0, 1}, Priority: 1},
+				Pipeline: 0, StartSec: 0, FinishSec: 2.5,
+			},
+			{
+				Batch:    cluster.BatchJob{Class: workload.Medium, JobIDs: []int{2}},
+				Pipeline: 1, StartSec: 1, FinishSec: 4,
+			},
+			{
+				Batch:    cluster.BatchJob{Class: workload.Long, JobIDs: []int{3}},
+				Pipeline: -1, Reason: "OOM everywhere",
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterChrome(&buf, s, "golden cluster"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"failedBatches":"1"`) {
+		t.Errorf("failed batch not counted in metadata: %s", out)
+	}
+	checkGolden(t, "chrome_cluster.golden.json", buf.Bytes())
+}
+
+func TestWriteClusterChromeEmpty(t *testing.T) {
+	if err := WriteClusterChrome(&bytes.Buffer{}, cluster.Summary{}, "x"); err == nil {
+		t.Fatal("expected error on empty summary")
+	}
+}
