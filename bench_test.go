@@ -102,9 +102,76 @@ func benchBlockedAttention(b *testing.B, seq int) {
 func BenchmarkBlockedAttention4K(b *testing.B) { benchBlockedAttention(b, 4096) }
 
 // BenchmarkBlockedAttention64K exposes kernel scaling with context length:
-// ns/op should grow linearly from the 4K case and allocs/op stay flat (the
-// score scratch and partial are reused across blocks).
+// ns/op should grow linearly from the 4K case and allocs/op stay flat (all
+// scratch comes from the sync.Pool arenas). Runs with the default worker
+// count; the Serial/Workers4 pair below is the machine-independent gate.
 func BenchmarkBlockedAttention64K(b *testing.B) { benchBlockedAttention(b, 64*1024) }
+
+// benchBlockedAttentionWorkers pins the worker count explicitly so the
+// Serial/Workers4 ratio is comparable across machines: same shape, same
+// chunk partition, only the concurrency differs (results are bit-identical).
+func benchBlockedAttentionWorkers(b *testing.B, seq, dim, workers int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandMat(rng, 1, dim, 1)
+	k := tensor.RandMat(rng, seq, dim, 1)
+	v := tensor.RandMat(rng, seq, dim, 1)
+	b.SetBytes(int64(2 * seq * dim * 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.BlockedWorkers(q, k, v, nil, 128, workers)
+	}
+}
+
+// BenchmarkBlockedAttention64KSerial / ...Workers4 are the parallel-kernel
+// regression pair: hilos-bench gates their ns/op ratio at ≥ 2x (decode-shape
+// chunk sharding must actually scale), machine-independently.
+func BenchmarkBlockedAttention64KSerial(b *testing.B) {
+	benchBlockedAttentionWorkers(b, 64*1024, 128, 1)
+}
+func BenchmarkBlockedAttention64KWorkers4(b *testing.B) {
+	benchBlockedAttentionWorkers(b, 64*1024, 128, 4)
+}
+
+// BenchmarkBlockedAttention1M is the 1M-token decode shape (head dim 64
+// keeps K+V at 512 MB). One op streams the full megatoken K/V range through
+// the chunked parallel dataflow.
+func BenchmarkBlockedAttention1M(b *testing.B) { benchBlockedAttentionWorkers(b, 1<<20, 64, 4) }
+
+// BenchmarkGQAAttention64K measures the shared-K/V-traversal group kernel:
+// 8 query heads, one 64K cache, each K row read once per block for the
+// whole group.
+func BenchmarkGQAAttention64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const seq, dim, group = 64 * 1024, 128, 8
+	q := tensor.RandMat(rng, group, dim, 1)
+	k := tensor.RandMat(rng, seq, dim, 1)
+	v := tensor.RandMat(rng, seq, dim, 1)
+	b.SetBytes(int64(2 * seq * dim * 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.GQAWorkers(q, k, v, nil, 128, 4)
+	}
+}
+
+// BenchmarkTopKBlocksAttention64K measures the lossy block-sparse kernel on
+// the decode shape: parallel score+pool over 64K tokens, serial selection of
+// 64 blocks, attention over the kept 8K tokens.
+func BenchmarkTopKBlocksAttention64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const seq, dim = 64 * 1024, 128
+	q := tensor.RandMat(rng, 1, dim, 1)
+	k := tensor.RandMat(rng, seq, dim, 1)
+	v := tensor.RandMat(rng, seq, dim, 1)
+	b.SetBytes(int64(2 * seq * dim * 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.TopKBlocksWorkers(q, k, v, nil, 64, 128, 4)
+	}
+}
 
 func BenchmarkAcceleratorAttention4K(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
@@ -275,6 +342,32 @@ func BenchmarkSchedulerListSchedulingReference(b *testing.B) {
 // per-task TaskRecord append opted out.
 func BenchmarkSchedulerNoTimeline(b *testing.B) {
 	schedulerWorkload(b, func(e *sim.Engine) sim.Result { return e.Run() }, false)
+}
+
+// BenchmarkScheduler1M pushes the event-driven scheduler to a 1M-task DAG
+// (the per-token granularity of a 1M-token decode timeline): slab-allocated
+// tasks (Engine.Grow), timeline recording off. One op builds and schedules
+// the full graph; completing at all is the point — the O(n²) reference
+// would take hours here.
+func BenchmarkScheduler1M(b *testing.B) {
+	const pairs = 1 << 19 // 2 tasks per pair = 1,048,576 tasks
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		e.RecordTimeline(false)
+		e.Grow(2 * pairs)
+		r1 := e.Resource("a", 10)
+		r2 := e.Resource("b", 5)
+		var prev *sim.Task
+		for l := 0; l < pairs; l++ {
+			t1 := e.Task("x", r1, 3, prev)
+			prev = e.Task("y", r2, 2, t1)
+		}
+		res := e.Run()
+		if res.Makespan <= 0 {
+			b.Fatal("empty schedule")
+		}
+	}
 }
 
 func BenchmarkEstimatorSweep(b *testing.B) {

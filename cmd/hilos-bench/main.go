@@ -29,6 +29,13 @@
 // caps the cluster loop's enabled-telemetry overhead at 2x and compares
 // the on/off ratio against the baseline's (skipped for snapshots that
 // predate the telemetry layer).
+//
+// When the run includes the parallel attention pair
+// (BenchmarkBlockedAttention64KSerial / ...Workers4), the guard also floors
+// the serial/parallel speedup at 2x — but only when the Workers4 bench ran
+// with GOMAXPROCS ≥ 4 (read from the benchmark name's -N suffix): on a
+// smaller machine no parallel speedup is physically measurable, so the
+// check reports itself skipped instead of failing vacuously.
 package main
 
 import (
@@ -51,6 +58,10 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -N name suffix;
+	// 1 when absent). The parallel-kernel gate only applies to runs that
+	// actually had cores to parallelize over.
+	Procs int `json:"procs,omitempty"`
 }
 
 // benchFile is the BENCH_*.json schema.
@@ -73,11 +84,20 @@ const (
 	// cluster loop: instrumentation must never come close to doubling the
 	// scheduler's cost even when fully enabled.
 	maxTelemetryRatio = 2.0
+
+	kernelSerialBench = "BenchmarkBlockedAttention64KSerial"
+	kernelParBench    = "BenchmarkBlockedAttention64KWorkers4"
+	// minKernelSpeedup floors ns(serial)/ns(4 workers) for the 64K-context
+	// decode-shape attention kernel: the chunked worker-pool dataflow must
+	// actually scale, not just stay bit-identical. Enforced only when the
+	// parallel bench ran with GOMAXPROCS ≥ minKernelProcs.
+	minKernelSpeedup = 2.0
+	minKernelProcs   = 4
 )
 
 // benchLine matches `go test -bench` result lines, e.g.
 // "BenchmarkFoo-8   	 100	  123 ns/op	  45 B/op	  6 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 
 // parseBench reads `go test -bench` output and collects one result per
 // benchmark. Later lines override earlier ones, so a re-run of selected
@@ -90,12 +110,17 @@ func parseBench(r io.Reader) (benchFile, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			return out, fmt.Errorf("hilos-bench: bad ns/op in %q: %v", sc.Text(), err)
 		}
-		res := benchResult{NsPerOp: ns}
-		for _, field := range strings.Split(m[3], "\t") {
+		res := benchResult{NsPerOp: ns, Procs: 1}
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil {
+				res.Procs = p
+			}
+		}
+		for _, field := range strings.Split(m[4], "\t") {
 			field = strings.TrimSpace(field)
 			switch {
 			case strings.HasSuffix(field, " B/op"):
@@ -171,7 +196,7 @@ func checkTelemetryOverhead(current, baseline benchFile, maxRegress float64) err
 	cur, ok := ratio(current)
 	if !ok {
 		fmt.Println("telemetry overhead check skipped (cluster telemetry benchmarks not in this run)")
-		return nil
+		return checkKernelParallel(current, baseline, maxRegress)
 	}
 	fmt.Printf("cluster telemetry on/off ratio: current %.4f (cap %.1f)\n", cur, maxTelemetryRatio)
 	if cur > maxTelemetryRatio {
@@ -180,6 +205,40 @@ func checkTelemetryOverhead(current, baseline benchFile, maxRegress float64) err
 	if base, ok := ratio(baseline); ok && cur > base*(1+maxRegress) {
 		return fmt.Errorf("hilos-bench: telemetry overhead regressed: ratio %.4f exceeds baseline %.4f by more than %.0f%%",
 			cur, base, 100*maxRegress)
+	}
+	return checkKernelParallel(current, baseline, maxRegress)
+}
+
+// checkKernelParallel enforces the parallel-attention guard: with the
+// serial/4-worker 64K decode pair present and run on a machine with
+// GOMAXPROCS ≥ minKernelProcs, the speedup ns(serial)/ns(parallel) must
+// clear the minKernelSpeedup floor and must not regress more than
+// maxRegress below a baseline that recorded the pair under the same
+// condition. Runs on smaller machines (or without the pair) report the
+// check skipped — a 1-core container cannot measure parallelism, and a
+// vacuous pass would hide that.
+func checkKernelParallel(current, baseline benchFile, maxRegress float64) error {
+	speedup := func(f benchFile) (float64, bool) {
+		ser, okS := f.Benchmarks[kernelSerialBench]
+		par, okP := f.Benchmarks[kernelParBench]
+		if !okS || !okP || par.NsPerOp <= 0 || par.Procs < minKernelProcs {
+			return 0, false
+		}
+		return ser.NsPerOp / par.NsPerOp, true
+	}
+	cur, ok := speedup(current)
+	if !ok {
+		fmt.Println("kernel parallel check skipped (serial/parallel pair absent or GOMAXPROCS < 4)")
+		return nil
+	}
+	fmt.Printf("attention serial/parallel speedup: current %.2fx (floor %.1fx at %d workers)\n",
+		cur, minKernelSpeedup, minKernelProcs)
+	if cur < minKernelSpeedup {
+		return fmt.Errorf("hilos-bench: parallel attention speedup %.2fx below the %.1fx floor", cur, minKernelSpeedup)
+	}
+	if base, ok := speedup(baseline); ok && cur < base*(1-maxRegress) {
+		return fmt.Errorf("hilos-bench: parallel attention speedup regressed: %.2fx is more than %.0f%% below baseline %.2fx",
+			cur, 100*maxRegress, base)
 	}
 	return nil
 }

@@ -29,9 +29,16 @@ func TestParseBench(t *testing.T) {
 	if attn.NsPerOp != 798511 || attn.BytesPerOp != 1536 || attn.AllocsPerOp != 3 {
 		t.Errorf("attention parse: %+v", attn)
 	}
-	// The GOMAXPROCS suffix must be stripped.
-	if _, ok := f.Benchmarks["BenchmarkSchedulerListScheduling"]; !ok {
+	// The GOMAXPROCS suffix must be stripped from the name but recorded.
+	sched, ok := f.Benchmarks["BenchmarkSchedulerListScheduling"]
+	if !ok {
 		t.Error("suffixed benchmark name not normalized")
+	}
+	if sched.Procs != 8 {
+		t.Errorf("suffixed benchmark procs = %d, want 8", sched.Procs)
+	}
+	if attn.Procs != 1 {
+		t.Errorf("unsuffixed benchmark procs = %d, want 1", attn.Procs)
 	}
 	// Fractional ns/op parses.
 	if cm := f.Benchmarks["BenchmarkCycleModelKernelTime"]; cm.NsPerOp != 33.64 {
@@ -110,6 +117,40 @@ func TestCheckTelemetryOverhead(t *testing.T) {
 		{"over hard cap", telSnapshot(1e6, 17e6, 2.5e6, 1e6), preTelemetryBase, false},
 		{"within 20% of baseline ratio", telSnapshot(1e6, 17e6, 1.2e6, 1e6), telBase, true},
 		{"regressed vs baseline ratio", telSnapshot(1e6, 17e6, 1.9e6, 1e6), telBase, false},
+	}
+	for _, c := range cases {
+		err := checkRegression(c.current, c.baseline, 0.20)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// kernelSnapshot extends a passing scheduler snapshot with the parallel
+// attention pair at the given serial/parallel timings and parallel-run
+// GOMAXPROCS.
+func kernelSnapshot(serial, par float64, procs int) benchFile {
+	f := snapshot(1e6, 17e6)
+	f.Benchmarks[kernelSerialBench] = benchResult{NsPerOp: serial, Procs: 1}
+	f.Benchmarks[kernelParBench] = benchResult{NsPerOp: par, Procs: procs}
+	return f
+}
+
+func TestCheckKernelParallel(t *testing.T) {
+	base := snapshot(1e6, 17e6) // no kernel pair recorded
+	kernelBase := kernelSnapshot(12e6, 4e6, 4)
+	cases := []struct {
+		name     string
+		current  benchFile
+		baseline benchFile
+		ok       bool
+	}{
+		{"pair absent: skip", snapshot(1e6, 17e6), base, true},
+		{"GOMAXPROCS 1: skip", kernelSnapshot(12e6, 11e6, 1), base, true},
+		{"3x speedup at 4 procs", kernelSnapshot(12e6, 4e6, 4), base, true},
+		{"below 2x floor", kernelSnapshot(12e6, 7e6, 4), base, false},
+		{"within regress headroom of baseline", kernelSnapshot(12e6, 4.6e6, 4), kernelBase, true},
+		{"regressed vs baseline 3x", kernelSnapshot(12e6, 5.8e6, 8), kernelBase, false},
 	}
 	for _, c := range cases {
 		err := checkRegression(c.current, c.baseline, 0.20)

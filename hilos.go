@@ -14,6 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/serving"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -288,6 +289,17 @@ func NewWorkloadTrace(seed int64, n int) ([]RequestClass, error) {
 func AcceleratorTable3(headDim int) ([]accel.Utilization, error) {
 	return accel.Table3(headDim)
 }
+
+// SetKernelWorkers overrides the process-wide worker count the functional
+// attention kernels and large MatMuls shard across (n ≤ 0 restores the
+// GOMAXPROCS default). Worker count never changes results — parallel runs
+// are bit-identical to serial — only latency versus CPU; cap it at 1–2 when
+// many kernel calls already run concurrently so the pool isn't
+// oversubscribed.
+func SetKernelWorkers(n int) { tensor.SetWorkers(n) }
+
+// KernelWorkers reports the worker count kernels currently shard across.
+func KernelWorkers() int { return tensor.DefaultWorkers() }
 
 // Backlog packs a request trace into same-shape batches of batchSize and
 // drains them through the selected system over the simulator's configured

@@ -108,7 +108,11 @@ func (a *Accelerator) Attention(q, k, v tensor.Mat, mask []bool, hostScores tens
 	scale := float32(1 / math.Sqrt(float64(a.cfg.HeadDim)))
 
 	out := tensor.New(q.Rows, v.Cols)
-	for g := 0; g < a.cfg.DGroup; g++ {
+	// The dGroup query heads are the hardware's parallel MAC lanes: each
+	// group's pass touches only its own scratch and out.Row(g), so sharding
+	// groups across the kernel worker pool is bit-identical to the serial
+	// loop for any worker count.
+	tensor.ParallelFor(a.cfg.DGroup, tensor.DefaultWorkers(), func(g int) {
 		qrow := q.Row(g)
 
 		// Pass over blocks: query-key product unit with online transpose,
@@ -176,7 +180,7 @@ func (a *Accelerator) Attention(q, k, v tensor.Mat, mask []bool, hostScores tens
 		for j := range orow {
 			orow[j] *= inv
 		}
-	}
+	})
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package attention
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/tensor"
 )
@@ -235,49 +236,22 @@ func PartialFromScores(scores []float32, v tensor.Mat) Partial {
 // K/V are consumed in blocks of blockSize tokens, each block's local softmax
 // statistics are folded via the streaming update unit, and the value
 // accumulator is rescaled at most once per block (the true flash-attention
-// dataflow of §5.4, not a per-token rescale). One score scratch buffer and
-// one partial are reused across every query row and block. Output matches
-// Ref within FP32 tolerance for any blockSize ≥ 1.
+// dataflow of §5.4, not a per-token rescale). Work is sharded across the
+// kernel worker pool as (query row × K/V chunk) items with scratch drawn
+// from sync.Pool arenas; results are bit-identical for every worker count
+// (see parallel.go). Output matches Ref within FP32 tolerance for any
+// blockSize ≥ 1.
 func Blocked(q, k, v tensor.Mat, mask []bool, blockSize int) tensor.Mat {
-	if blockSize <= 0 {
-		blockSize = 128
-	}
-	d := q.Cols
-	scale := float32(1 / math.Sqrt(float64(d)))
-	out := tensor.New(q.Rows, v.Cols)
-	sb := blockSize
-	if sb > k.Rows {
-		sb = k.Rows
-	}
-	scores := make([]float32, sb) // scratch shared across rows and blocks
-	p := NewPartial(v.Cols)
-	for qi := 0; qi < q.Rows; qi++ {
-		qrow := q.Row(qi)
-		p.Reset()
-		for lo := 0; lo < k.Rows; lo += blockSize {
-			hi := lo + blockSize
-			if hi > k.Rows {
-				hi = k.Rows
-			}
-			blk := scores[:hi-lo]
-			for ki := lo; ki < hi; ki++ {
-				blk[ki-lo] = applyMask(tensor.Dot(qrow, k.Row(ki))*scale, mask, ki)
-			}
-			p.AddBlock(blk, v, lo)
-		}
-		p.FinalizeInto(out.Row(qi))
-	}
-	return out
+	return BlockedWorkers(q, k, v, mask, blockSize, tensor.DefaultWorkers())
 }
 
 // GQA computes grouped-query attention: dGroup query heads share one K/V
-// cache. q holds dGroup query rows (one per head in the group); the shared
-// k/v cache is read once, matching the accelerator's broadcast to
-// dGroup×128 MAC units. Output has dGroup rows.
+// cache. q holds dGroup query rows (one per head in the group); each K/V
+// block is read once and scored against every head in the group, matching
+// the accelerator's broadcast to dGroup×128 MAC units. Output has dGroup
+// rows, bit-identical to per-head Blocked calls.
 func GQA(q, k, v tensor.Mat, mask []bool, blockSize int) tensor.Mat {
-	// Functionally GQA over a shared cache is per-query attention; the
-	// sharing matters for the memory system, which the cycle model captures.
-	return Blocked(q, k, v, mask, blockSize)
+	return GQAWorkers(q, k, v, mask, blockSize, tensor.DefaultWorkers())
 }
 
 // TopK computes lossy sparse attention retaining only the kTop
@@ -310,48 +284,12 @@ func TopK(q, k, v tensor.Mat, mask []bool, kTop int) tensor.Mat {
 // engine keeps instead of exact per-token scores), and only the keepBlocks
 // highest-ranked blocks participate in attention. This is the
 // InstAttention-style lossy compression proxy of Fig. 18(c): evidence
-// sitting in low-pooled-score blocks is silently dropped.
+// sitting in low-pooled-score blocks is silently dropped. Query rows (or,
+// for single-row decode shapes, the score+pool phase) run on the kernel
+// worker pool; block selection stays serial and deterministic, and results
+// are bit-identical for every worker count (see parallel.go).
 func TopKBlocks(q, k, v tensor.Mat, mask []bool, keepBlocks, blockSize int) tensor.Mat {
-	if blockSize <= 0 {
-		blockSize = 16
-	}
-	d := q.Cols
-	scale := float32(1 / math.Sqrt(float64(d)))
-	nBlocks := (k.Rows + blockSize - 1) / blockSize
-	out := tensor.New(q.Rows, v.Cols)
-	scores := make([]float32, k.Rows) // scratch shared across query rows
-	blockScore := make([]float32, nBlocks)
-	p := NewPartial(v.Cols)
-	for qi := 0; qi < q.Rows; qi++ {
-		qrow := q.Row(qi)
-		for ki := 0; ki < k.Rows; ki++ {
-			scores[ki] = applyMask(tensor.Dot(qrow, k.Row(ki))*scale, mask, ki)
-		}
-		for b := 0; b < nBlocks; b++ {
-			lo, hi := b*blockSize, (b+1)*blockSize
-			if hi > k.Rows {
-				hi = k.Rows
-			}
-			// Mean-pool in float64 so block ranking does not depend on
-			// float32 rounding of the partial sums (hilos-lint: floataccum).
-			var sum float64
-			for i := lo; i < hi; i++ {
-				sum += float64(scores[i])
-			}
-			blockScore[b] = float32(sum / float64(hi-lo))
-		}
-		keep := topKIndices(blockScore, keepBlocks)
-		p.Reset()
-		for _, b := range keep {
-			lo, hi := b*blockSize, (b+1)*blockSize
-			if hi > k.Rows {
-				hi = k.Rows
-			}
-			p.AddBlock(scores[lo:hi], v, lo)
-		}
-		p.FinalizeInto(out.Row(qi))
-	}
-	return out
+	return TopKBlocksWorkers(q, k, v, mask, keepBlocks, blockSize, tensor.DefaultWorkers())
 }
 
 // topKIndices returns the indices of the k largest scores (k clamped to
@@ -362,10 +300,18 @@ func TopKBlocks(q, k, v tensor.Mat, mask []bool, keepBlocks, blockSize int) tens
 // scores, the highest index), so a full scan costs O(n log k).
 func topKIndices(scores []float32, k int) []int {
 	if k >= len(scores) {
+		// The degenerate keep-everything case must still honor the order
+		// contract (descending score, ascending index among ties) — callers
+		// fold values in selection order, so the order is part of the
+		// numeric result.
 		idx := make([]int, len(scores))
 		for i := range idx {
 			idx[i] = i
 		}
+		sort.Slice(idx, func(a, b int) bool {
+			ia, ib := idx[a], idx[b]
+			return scores[ia] > scores[ib] || (scores[ia] == scores[ib] && ia < ib)
+		})
 		return idx
 	}
 	if k <= 0 {

@@ -9,14 +9,12 @@ import (
 )
 
 // topKIndicesSelect is the original O(n·k) repeated-selection implementation,
-// retained as the behavioral reference for the bounded-heap rewrite.
+// retained as the behavioral reference for the bounded-heap rewrite. The
+// selection loop is the order contract: descending score, ascending index
+// among ties, for every k including the k ≥ len(scores) degenerate case.
 func topKIndicesSelect(scores []float32, k int) []int {
-	if k >= len(scores) {
-		idx := make([]int, len(scores))
-		for i := range idx {
-			idx[i] = i
-		}
-		return idx
+	if k > len(scores) {
+		k = len(scores)
 	}
 	if k <= 0 {
 		return nil
@@ -65,6 +63,42 @@ func TestTopKIndicesMatchesSelection(t *testing.T) {
 						trial, n, k, i, got[i], want[i], got, want)
 				}
 			}
+		}
+	}
+}
+
+// TestTopKIndicesOrderContract pins the documented order — descending
+// score, ascending index among ties — directly (not just vs the reference),
+// with special weight on the k ≥ len(scores) fast path, which used to
+// return ascending index order in violation of the contract.
+func TestTopKIndicesOrderContract(t *testing.T) {
+	scores := []float32{1, 3, 2, 3, 0, 2, 3}
+	cases := []struct {
+		k    int
+		want []int
+	}{
+		{k: 2, want: []int{1, 3}},
+		{k: 5, want: []int{1, 3, 6, 2, 5}},
+		{k: 7, want: []int{1, 3, 6, 2, 5, 0, 4}},  // k == len: full descending order
+		{k: 12, want: []int{1, 3, 6, 2, 5, 0, 4}}, // k > len: same
+	}
+	for _, c := range cases {
+		got := topKIndices(scores, c.k)
+		if len(got) != len(c.want) {
+			t.Fatalf("k=%d: got %v, want %v", c.k, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("k=%d: got %v, want %v", c.k, got, c.want)
+			}
+		}
+	}
+	// All-ties input: contract degenerates to ascending index order.
+	ties := []float32{5, 5, 5, 5}
+	got := topKIndices(ties, 99)
+	for i, g := range got {
+		if g != i {
+			t.Fatalf("all-ties order: got %v", got)
 		}
 	}
 }

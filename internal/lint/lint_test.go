@@ -82,9 +82,14 @@ func checkFixture(t *testing.T, a *analysis.Analyzer, dir string) {
 }
 
 func TestSimDeterminismFixture(t *testing.T) { checkFixture(t, SimDeterminism, "simdet") }
-func TestFloatAccumFixture(t *testing.T)     { checkFixture(t, FloatAccum, "floataccum") }
-func TestGuardedByFixture(t *testing.T)      { checkFixture(t, GuardedBy, "guardedby") }
-func TestHeapSafeFixture(t *testing.T)       { checkFixture(t, HeapSafe, "heapsafe") }
+
+// TestWorkerPoolFixture pins the completion-order checks: collect-as-they-
+// finish shapes are flagged, the sanctioned index-ordered-assembly and
+// fixed-tree-reduction shapes lint clean with no //lint:allow.
+func TestWorkerPoolFixture(t *testing.T) { checkFixture(t, SimDeterminism, "workerpool") }
+func TestFloatAccumFixture(t *testing.T) { checkFixture(t, FloatAccum, "floataccum") }
+func TestGuardedByFixture(t *testing.T)  { checkFixture(t, GuardedBy, "guardedby") }
+func TestHeapSafeFixture(t *testing.T)   { checkFixture(t, HeapSafe, "heapsafe") }
 
 // TestPackageScopeSuppression checks that a //lint:allow in the package doc
 // silences the whole package: the fixture contains violations but no wants.
@@ -126,8 +131,16 @@ func TestScoping(t *testing.T) {
 	if SimDeterminism.AppliesTo("repro/internal/sim") != true {
 		t.Error("simdeterminism must apply to internal/sim")
 	}
-	if SimDeterminism.AppliesTo("repro/internal/attention") {
-		t.Error("simdeterminism must not apply to internal/attention")
+	// The parallel kernels joined the scope in PR 8: their worker-pool
+	// dataflow must satisfy the completion-order rules directly.
+	if !SimDeterminism.AppliesTo("repro/internal/attention") {
+		t.Error("simdeterminism must apply to internal/attention")
+	}
+	if !SimDeterminism.AppliesTo("repro/internal/tensor") {
+		t.Error("simdeterminism must apply to internal/tensor")
+	}
+	if SimDeterminism.AppliesTo("repro/internal/fp16") {
+		t.Error("simdeterminism must not apply to internal/fp16")
 	}
 	if !strings.Contains(FloatAccum.Doc, "float32") {
 		t.Error("floataccum doc should explain the float32 rule")

@@ -27,17 +27,28 @@ import (
 //     on a channel, writing table/CSV/printed output, or accumulating into
 //     a floating-point variable declared outside the loop (float addition
 //     is not associative, so even a "sum over all values" depends on
-//     iteration order in the last bits).
+//     iteration order in the last bits);
+//   - worker-result collection in goroutine completion order: appending a
+//     channel receive (`out = append(out, <-ch)`), appending to an outer
+//     slice from inside `range` over a channel, or accumulating received
+//     floats — the order results arrive depends on the scheduler, so it
+//     must never reach a float or an output ordering.
 //
 // A map-range that appends and then sorts the slice (the collect-sort-walk
-// idiom) is deterministic and is not flagged.
+// idiom) is deterministic and is not flagged. The sanctioned worker-pool
+// shapes likewise pass: index-ordered assembly (`out[i] = f(i)` with one
+// owner per slot, as in experiments.pool and tensor.ParallelFor callers)
+// and fixed-shape reductions over those slots (attention's tree-merge),
+// because neither lets completion order reach a result.
 var SimDeterminism = &analysis.Analyzer{
 	Name: "simdeterminism",
-	Doc: "forbid wall-clock, entropy and map-iteration-order leaks in simulation packages\n\n" +
+	Doc: "forbid wall-clock, entropy, map-iteration-order and goroutine-completion-order leaks in simulation and kernel packages\n\n" +
 		"The replay invariant — identical inputs produce bit-identical tables — only\n" +
 		"holds if no simulation package reads time.Now, the process environment, the\n" +
-		"global math/rand source, or iterates a map where order can reach an output.",
-	Packages: []string{"internal/sim", "internal/cluster", "internal/serving", "internal/experiments", "internal/telemetry", "cmd/hilos-cluster"},
+		"global math/rand source, iterates a map where order can reach an output, or\n" +
+		"collects parallel worker results in completion order (index-ordered slots\n" +
+		"plus a fixed-order reduction are the sanctioned shape).",
+	Packages: []string{"internal/sim", "internal/cluster", "internal/serving", "internal/experiments", "internal/telemetry", "cmd/hilos-cluster", "internal/attention", "internal/tensor", "internal/accel"},
 	Run:      runSimDeterminism,
 }
 
@@ -61,6 +72,9 @@ func runSimDeterminism(pass *analysis.Pass) error {
 				checkForbiddenCall(pass, n)
 			case *ast.RangeStmt:
 				checkMapRange(pass, file, n)
+				checkChanRange(pass, file, n)
+			case *ast.AssignStmt:
+				checkRecvAssign(pass, n)
 			case *ast.SelectorExpr:
 				// Any reference into crypto/rand is an entropy source.
 				if obj := info.Uses[n.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "crypto/rand" {
@@ -172,6 +186,108 @@ func checkMapRangeAssign(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, 
 		}
 		pass.Reportf(as.Pos(), "append inside range over map records the random iteration order in %s; sort the slice afterwards or iterate sorted keys", obj.Name())
 	}
+}
+
+// checkChanRange flags statements inside a range-over-channel body that
+// record goroutine completion order: appending to an outer slice (results
+// arrive in whatever order workers finish) and floating-point accumulation
+// into an outer variable. The collect-then-sort escape applies, as does
+// index-ordered assembly (`out[i] = v`, an assignment, never reported).
+func checkChanRange(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return
+	}
+	fn := enclosingFunc(file, rng.Pos())
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			lhs := as.Lhs[0]
+			if tv, ok := info.Types[lhs]; ok {
+				if fl, _ := isFloat(tv.Type); fl && !perKeyUpdate(info, lhs, rng) {
+					if obj := rootObj(info, lhs); obj != nil && !declaredWithin(obj, rng) {
+						pass.Reportf(as.Pos(), "floating-point accumulation inside range over channel folds worker results in goroutine completion order; write into index-owned slots and reduce in fixed order")
+					}
+				}
+			}
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) {
+				continue
+			}
+			var dst ast.Expr
+			if i < len(as.Lhs) {
+				dst = as.Lhs[i]
+			} else if len(as.Lhs) == 1 {
+				dst = as.Lhs[0]
+			}
+			if dst == nil {
+				continue
+			}
+			obj := rootObj(info, dst)
+			if obj == nil || declaredWithin(obj, rng) {
+				continue
+			}
+			if fn != nil && sortedAfter(info, fn, obj, rng.End()) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "append inside range over channel records goroutine completion order in %s; assign into index-owned slots (out[i] = v) or sort afterwards", obj.Name())
+		}
+		return true
+	})
+}
+
+// checkRecvAssign flags direct completion-order collection outside channel
+// ranges: appending a receive expression (`out = append(out, <-ch)`) and
+// floating-point accumulation of a received value (`sum += <-ch`).
+func checkRecvAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Rhs) == 1 && containsRecv(as.Rhs[0]) {
+			if tv, ok := info.Types[as.Lhs[0]]; ok {
+				if fl, _ := isFloat(tv.Type); fl {
+					pass.Reportf(as.Pos(), "floating-point accumulation of a channel receive folds worker results in goroutine completion order; write into index-owned slots and reduce in fixed order")
+				}
+			}
+		}
+		return
+	}
+	for _, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(info, call) {
+			continue
+		}
+		for _, arg := range call.Args[1:] {
+			if containsRecv(arg) {
+				pass.Reportf(as.Pos(), "append of a channel receive records goroutine completion order; assign into index-owned slots (out[i] = <-ch only if i is the item's own index) or reduce with a fixed-shape tree")
+				break
+			}
+		}
+	}
+}
+
+// containsRecv reports whether expr contains a channel receive (<-ch).
+func containsRecv(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // checkMapRangeOutput flags calls that write human-readable or serialized

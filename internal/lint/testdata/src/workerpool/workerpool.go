@@ -1,0 +1,100 @@
+// Package workerpool exercises the completion-order checks of the
+// simdeterminism analyzer: the forbidden collect-as-they-finish shapes, and
+// the sanctioned index-ordered-assembly / fixed-tree-reduction shapes that
+// must lint clean without any //lint:allow.
+package workerpool
+
+import "sort"
+
+// collectCompletionOrder is the forbidden shape: results append in whatever
+// order workers finish, so two runs order (and float-fold) differently.
+func collectCompletionOrder(ch chan float64, n int) []float64 {
+	var out []float64
+	for v := range ch {
+		out = append(out, v) // want "append inside range over channel"
+	}
+	return out
+}
+
+// sumCompletionOrder folds floats as they arrive: scheduler-ordered addition.
+func sumCompletionOrder(ch chan float64, n int) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want "floating-point accumulation inside range over channel"
+	}
+	return sum
+}
+
+// drainRecvAppend is the same defect without a range statement.
+func drainRecvAppend(ch chan float64, n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch) // want "append of a channel receive"
+	}
+	return out
+}
+
+// sumRecv accumulates receives directly: still completion order.
+func sumRecv(ch chan float64, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += <-ch // want "floating-point accumulation of a channel receive"
+	}
+	return sum
+}
+
+// indexOrderedAssembly is the sanctioned worker-pool shape: every item
+// writes only its own slot, so the assembled slice is a pure function of the
+// inputs no matter which worker ran which item when. Not flagged.
+func indexOrderedAssembly(work []func() float64) []float64 {
+	out := make([]float64, len(work))
+	done := make(chan struct{})
+	queue := make(chan int)
+	go func() {
+		for i := range queue {
+			out[i] = work[i]()
+		}
+		close(done)
+	}()
+	for i := range work {
+		queue <- i
+	}
+	close(queue)
+	<-done
+	return out
+}
+
+// fixedTreeReduce is the sanctioned reduction: index-owned slots combined
+// with a stride-doubling tree whose shape depends only on len(parts). Not
+// flagged — no channel ever carries a result.
+func fixedTreeReduce(parts []float64) float64 {
+	for stride := 1; stride < len(parts); stride *= 2 {
+		for i := 0; i+stride < len(parts); i += 2 * stride {
+			parts[i] += parts[i+stride]
+		}
+	}
+	return parts[0]
+}
+
+// collectThenSort restores a deterministic order before anyone reads the
+// slice: allowed, same escape as the map-range idiom.
+func collectThenSort(ch chan float64, n int) []float64 {
+	var out []float64
+	for v := range ch {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// perItemLocal appends into a slice declared inside the loop body: order
+// cannot leak across iterations. Not flagged.
+func perItemLocal(ch chan []float64) int {
+	total := 0
+	for vs := range ch {
+		var pair []float64
+		pair = append(pair, vs...)
+		total += len(pair)
+	}
+	return total
+}

@@ -220,11 +220,16 @@ func (m *Model) xHeadAttention(l, kh int, q []float32, xs [][]float32, rope []*a
 		}
 		k.RoundFP16()
 	}
+	// One GQA call over the group's query rows shares each K/V block
+	// traversal across heads; per-head results are bit-identical to the
+	// per-head Blocked calls this loop used to make.
+	qm := tensor.New(p.DGroup(), d)
 	for g := 0; g < p.DGroup(); g++ {
-		qh := kh*p.DGroup() + g
-		qm := tensor.FromSlice(1, d, append([]float32(nil), headSlice(q, qh, d)...))
-		o := attention.Blocked(qm, k, v, nil, accel.BlockTokens)
-		copy(headSlice(attnOut, qh, d), o.Row(0))
+		copy(qm.Row(g), headSlice(q, kh*p.DGroup()+g, d))
+	}
+	o := attention.GQA(qm, k, v, nil, accel.BlockTokens)
+	for g := 0; g < p.DGroup(); g++ {
+		copy(headSlice(attnOut, kh*p.DGroup()+g, d), o.Row(g))
 	}
 	return nil
 }

@@ -210,6 +210,45 @@ func TestRecordTimelineOptOut(t *testing.T) {
 	}
 }
 
+// TestGrowParity: building a DAG into a preallocated slab (Grow) must not
+// change a single scheduling result vs individually allocated tasks —
+// including when the slab is undersized and construction spills over to the
+// allocation fallback, and when Grow is called again mid-build.
+func TestGrowParity(t *testing.T) {
+	const n = 80
+	for _, grow := range []int{n, n / 3, 5} {
+		plain, slab := NewEngine(), NewEngine()
+		slab.Grow(grow)
+		tasksPlain := buildRandomDAG(plain, rand.New(rand.NewSource(7)), n)
+		tasksSlab := buildRandomDAG(slab, rand.New(rand.NewSource(7)), n)
+		rPlain, rSlab := plain.Run(), slab.Run()
+		if rPlain.Makespan != rSlab.Makespan {
+			t.Fatalf("grow=%d: makespan %v != %v", grow, rSlab.Makespan, rPlain.Makespan)
+		}
+		for i := range rPlain.Tasks {
+			if rPlain.Tasks[i] != rSlab.Tasks[i] {
+				t.Fatalf("grow=%d: timeline[%d] %+v != %+v", grow, i, rSlab.Tasks[i], rPlain.Tasks[i])
+			}
+		}
+		for i := range tasksPlain {
+			if tasksPlain[i].Start() != tasksSlab[i].Start() || tasksPlain[i].Finish() != tasksSlab[i].Finish() {
+				t.Fatalf("grow=%d: task %d schedules differ", grow, i)
+			}
+		}
+	}
+	// Regrowing mid-build must leave already-built tasks intact.
+	e := NewEngine()
+	r := e.Resource("r", 1)
+	e.Grow(2)
+	a := e.Task("a", r, 1)
+	e.Grow(2)
+	b := e.Task("b", r, 1, a)
+	res := e.Run()
+	if a.Label != "a" || b.Finish() != 2 || res.Makespan != 2 {
+		t.Fatalf("regrow corrupted tasks: a=%q b.Finish=%v makespan=%v", a.Label, b.Finish(), res.Makespan)
+	}
+}
+
 // TestRunReferencePanicsTwice mirrors TestRunTwicePanics for the reference
 // entry point; both share the one-shot guard.
 func TestRunReferencePanicsTwice(t *testing.T) {

@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForRunsEachIndexOnce: every index in [0, n) runs exactly once,
+// for worker counts below, at and above n, including the inline paths.
+func TestParallelForRunsEachIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		for _, w := range []int{1, 2, 3, 8, 64} {
+			counts := make([]atomic.Int32, n)
+			ParallelFor(n, w, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d ran %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForNested: a ParallelFor body may itself call ParallelFor
+// (e.g. accel's per-group loop invoking a parallel kernel). The caller
+// always participates in its own job, so saturation cannot deadlock.
+func TestParallelForNested(t *testing.T) {
+	var total atomic.Int64
+	ParallelFor(8, 8, func(i int) {
+		ParallelFor(16, 4, func(j int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 8*16 {
+		t.Fatalf("nested ParallelFor ran %d inner items, want %d", got, 8*16)
+	}
+}
+
+// TestSetWorkersOverride: SetWorkers pins DefaultWorkers; ≤ 0 restores the
+// GOMAXPROCS default.
+func TestSetWorkersOverride(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(0)
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers() = %d after reset", got)
+	}
+}
+
+// TestMatMulParallelBitIdentical: a product above the parallel work floor
+// must be bit-identical to the serial row loop — row results are
+// independent, so sharding cannot move a single bit.
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	// 160×160 · 160×160 = 4.1M flops > matMulParallelFlops (2.1M).
+	a := RandMat(rng, 160, 160, 1)
+	b := RandMat(rng, 160, 160, 1)
+	if a.Rows*a.Cols*b.Cols < matMulParallelFlops {
+		t.Fatalf("test shape below parallel floor")
+	}
+	par := MatMul(a, b)
+	serial := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow, orow := a.Row(i), serial.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	if !reflect.DeepEqual(par.Data, serial.Data) {
+		t.Fatalf("parallel MatMul diverged from serial row loop")
+	}
+	// And the override path: forcing 1 worker must give the same bits.
+	defer SetWorkers(0)
+	SetWorkers(1)
+	one := MatMul(a, b)
+	if !reflect.DeepEqual(par.Data, one.Data) {
+		t.Fatalf("MatMul with SetWorkers(1) diverged")
+	}
+}

@@ -71,7 +71,10 @@ func (m Mat) T() Mat {
 	return out
 }
 
-// MatMul returns a·b. Panics on shape mismatch.
+// MatMul returns a·b. Panics on shape mismatch. Products above a fixed work
+// floor shard output rows across the kernel worker pool; each row is
+// computed exactly as in the serial loop, so the result is bit-identical for
+// any worker count.
 //
 //lint:allow floataccum GEMM deliberately emulates the accelerator's FP32 accumulators
 func MatMul(a, b Mat) Mat {
@@ -79,7 +82,7 @@ func MatMul(a, b Mat) Mat {
 		panic(fmt.Sprintf("tensor: matmul shape %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	mulRow := func(i int) {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k := 0; k < a.Cols; k++ {
@@ -93,6 +96,11 @@ func MatMul(a, b Mat) Mat {
 			}
 		}
 	}
+	workers := 1
+	if a.Rows > 1 && a.Rows*a.Cols*b.Cols >= matMulParallelFlops {
+		workers = DefaultWorkers()
+	}
+	ParallelFor(a.Rows, workers, mulRow)
 	return out
 }
 
