@@ -12,6 +12,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/energy"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -72,6 +73,8 @@ type clusterConfig struct {
 	priorities []PriorityClass
 	telemetry  *ClusterTelemetry
 	pace       func(simSec float64)
+	faults     *FaultPlan
+	retry      *ClusterRetryPolicy
 }
 
 type fleetSpec struct {
@@ -288,8 +291,27 @@ func Cluster(m Model, reqs []TimedRequest, opts ...ClusterOption) (ClusterSummar
 				// Pipelines from one fleet spec share the engine, so their
 				// batch simulations memoize together.
 				EngineID: fmt.Sprintf("%s/%d-dev", fs.sys, devices),
+				// InstInfer's top-1/8 KV retrieval is approximate: work that
+				// lands here only because every exact tier is out of service
+				// counts as degraded, not business as usual.
+				Lossy: fs.sys == SystemInstInfer,
 			})
 		}
+	}
+
+	var inj *faults.Injector
+	if cfg.faults != nil {
+		var err error
+		if inj, err = faults.New(*cfg.faults, len(fleet)); err != nil {
+			return ClusterSummary{}, err
+		}
+	}
+	var retry cluster.RetryPolicy
+	switch {
+	case cfg.retry != nil:
+		retry = *cfg.retry
+	case cfg.faults != nil:
+		retry = cluster.DefaultRetryPolicy()
 	}
 
 	if len(cfg.priorities) > 0 {
@@ -314,6 +336,8 @@ func Cluster(m Model, reqs []TimedRequest, opts ...ClusterOption) (ClusterSummar
 		Policy:    cfg.policy,
 		Telemetry: cfg.telemetry,
 		Pace:      cfg.pace,
+		Faults:    inj,
+		Retry:     retry,
 		Admission: cluster.Admission{
 			MaxBatch:           cfg.maxBatch,
 			MaxWaitSec:         cfg.maxWaitSec,

@@ -18,6 +18,9 @@
 //	hilos-cluster -metrics-addr :8080            # live /metrics + /events
 //	hilos-cluster -trace-out cluster.json        # Chrome trace of the run
 //	hilos-cluster -replay-speed 60               # 1 wall second = 60 sim s
+//	hilos-cluster -faults 'fail-stop:pipe=0,at=120,repair=60'
+//	hilos-cluster -faults 'transient:prob=0.05;wear-out:budget=2e12'
+//	hilos-cluster -mtbf 600 -mttr 60             # generated fail-stop schedule
 //	hilos-cluster -list-systems
 //
 // Observability: -metrics-addr serves live stats over HTTP while runs
@@ -47,6 +50,21 @@
 // and evict unstarted lower-priority batches, which re-enqueue); -continuous
 // re-forms batches at dispatch time so a freed pipeline re-packs the oldest
 // waiting work.
+//
+// Robustness: -faults injects a deterministic fault plan — semicolon-
+// separated kind:key=value,... terms:
+//
+//	fail-stop:pipe=0,at=120,repair=60   pipeline 0 down at t=120 for 60 s
+//	straggler:pipe=1,at=200,for=300,factor=3
+//	transient:prob=0.05[,pipe=1]        per-batch error probability
+//	wear-out:budget=2e12[,pipe=0]       flash endurance budget in bytes
+//
+// -mtbf (with optional -mttr) generates a per-pipeline exponential
+// fail-stop schedule over the trace horizon instead, seeded by -seed.
+// -max-retries bounds per-batch retries (exponential backoff, quarantine
+// and failover per the default retry policy). Every run reports the jobs
+// lost — always 0: admitted work completes, fails terminally, or is
+// rejected, never vanishes.
 //
 // Dispatch policies (-policy, default "all"):
 //
@@ -90,6 +108,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the last run's batch schedule as Chrome trace JSON to this file")
 	replaySpeed := flag.Float64("replay-speed", 0, "slave the simulated clock to the wall clock at this multiple (1 = real time; 0 = fast-forward)")
 	serveLinger := flag.Float64("serve-linger", 0, "with -metrics-addr, keep serving this many seconds after runs complete")
+	faultSpec := flag.String("faults", "", "inject faults: kind:key=value,...;... (e.g. 'fail-stop:pipe=0,at=120,repair=60;transient:prob=0.05')")
+	mtbf := flag.Float64("mtbf", 0, "generate a fail-stop schedule with this mean time between failures in seconds (0 = off)")
+	mttr := flag.Float64("mttr", 60, "mean repair window in seconds for the generated schedule (with -mtbf)")
+	maxRetries := flag.Int("max-retries", 3, "bound per-batch retries under faults (0 = every failure is terminal)")
 	flag.Parse()
 
 	if *listSystems {
@@ -101,7 +123,7 @@ func main() {
 
 	m, err := hilos.ModelByName(*modelName)
 	check(err)
-	fleet, err := parseFleet(*fleetSpec)
+	fleet, fleetPipes, err := parseFleet(*fleetSpec)
 	check(err)
 	policies, err := parsePolicies(*policy)
 	check(err)
@@ -109,6 +131,9 @@ func main() {
 	check(err)
 	prioOpts, err := parsePriorities(*priority)
 	check(err)
+	basePlan, err := parseFaults(*faultSpec)
+	check(err)
+	faultsOn := basePlan != nil || *mtbf > 0
 
 	// Observability: one registry/stream pair spans every run of the
 	// invocation (sweeps and policy comparisons accumulate), so /metrics
@@ -151,6 +176,30 @@ func main() {
 	for _, r := range rates {
 		reqs, label, err := loadTrace(*traceFile, *seed, *n, r, process)
 		check(err)
+		var faultOpts []hilos.ClusterOption
+		if faultsOn {
+			plan := hilos.FaultPlan{Seed: *seed}
+			if basePlan != nil {
+				plan = *basePlan
+				plan.Seed = *seed
+			}
+			if *mtbf > 0 {
+				// Generated fail-stops cover the whole trace horizon plus a
+				// recovery tail, so late arrivals still see churn.
+				horizon := 0.0
+				for _, req := range reqs {
+					if req.ArrivalSec > horizon {
+						horizon = req.ArrivalSec
+					}
+				}
+				schedule, err := hilos.GenerateFailStops(*seed, fleetPipes, horizon+*mttr, *mtbf, *mttr)
+				check(err)
+				plan.Events = append(plan.Events, schedule...)
+			}
+			rp := hilos.DefaultClusterRetryPolicy()
+			rp.MaxRetries = *maxRetries
+			faultOpts = []hilos.ClusterOption{hilos.WithFaults(plan), hilos.WithRetryPolicy(rp)}
+		}
 		fmt.Printf("== %s | model %s | fleet %s | batch %d wait %gs", label, m.Name, *fleetSpec, *batch, *wait)
 		if *backlog > 0 {
 			fmt.Printf(" backlog %d", *backlog)
@@ -170,6 +219,7 @@ func main() {
 			)
 			opts = append(opts, prioOpts...)
 			opts = append(opts, telOpts...)
+			opts = append(opts, faultOpts...)
 			if *preempt {
 				opts = append(opts, hilos.WithPreemption())
 			}
@@ -179,6 +229,9 @@ func main() {
 			s, err := hilos.Cluster(m, reqs, opts...)
 			check(err)
 			printSummary(s)
+			if faultsOn {
+				printRobustness(s)
+			}
 			lastSummary, lastLabel, haveSummary = s, fmt.Sprintf("%s | %s", label, s.Policy), true
 		}
 		fmt.Println()
@@ -230,9 +283,11 @@ func newPacer(speed float64) func(simSec float64) {
 }
 
 // parseFleet turns "hilos:2x16,flex-dram:1" into fleet options, rejecting
-// unregistered system names up front with the registry listing.
-func parseFleet(spec string) ([]hilos.ClusterOption, error) {
+// unregistered system names up front with the registry listing. It also
+// returns the total pipeline count, which fault plans are sized against.
+func parseFleet(spec string) ([]hilos.ClusterOption, int, error) {
 	var opts []hilos.ClusterOption
+	pipes := 0
 	for _, term := range strings.Split(spec, ",") {
 		term = strings.TrimSpace(term)
 		if term == "" {
@@ -240,7 +295,7 @@ func parseFleet(spec string) ([]hilos.ClusterOption, error) {
 		}
 		sys, rest, _ := strings.Cut(term, ":")
 		if !knownSystem(hilos.System(sys)) {
-			return nil, fmt.Errorf("unknown system %q in fleet term %q (known: %s)",
+			return nil, 0, fmt.Errorf("unknown system %q in fleet term %q (known: %s)",
 				sys, term, joinSystems())
 		}
 		count, devices := 1, 0
@@ -248,20 +303,106 @@ func parseFleet(spec string) ([]hilos.ClusterOption, error) {
 			c, d, hasDev := strings.Cut(rest, "x")
 			var err error
 			if count, err = strconv.Atoi(c); err != nil {
-				return nil, fmt.Errorf("bad fleet term %q: count %q", term, c)
+				return nil, 0, fmt.Errorf("bad fleet term %q: count %q", term, c)
 			}
 			if hasDev {
 				if devices, err = strconv.Atoi(d); err != nil {
-					return nil, fmt.Errorf("bad fleet term %q: devices %q", term, d)
+					return nil, 0, fmt.Errorf("bad fleet term %q: devices %q", term, d)
 				}
 			}
 		}
 		opts = append(opts, hilos.WithFleet(hilos.System(sys), count, devices))
+		pipes += count
 	}
 	if len(opts) == 0 {
-		return nil, fmt.Errorf("empty fleet spec")
+		return nil, 0, fmt.Errorf("empty fleet spec")
 	}
-	return opts, nil
+	return opts, pipes, nil
+}
+
+// faultKeys lists the accepted spec keys per fault kind.
+var faultKeys = map[hilos.FaultKind][]string{
+	hilos.FaultFailStop:  {"pipe", "at", "repair"},
+	hilos.FaultStraggler: {"pipe", "at", "for", "factor"},
+	hilos.FaultTransient: {"pipe", "prob"},
+	hilos.FaultWearOut:   {"pipe", "budget"},
+}
+
+// parseFaults turns a -faults spec — semicolon-separated kind:key=value,...
+// terms — into a fault plan. Unknown kinds and keys are rejected with the
+// registered vocabulary, so a typo never silently runs fault-free.
+func parseFaults(spec string) (*hilos.FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &hilos.FaultPlan{}
+	for _, term := range strings.Split(spec, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		kindStr, rest, _ := strings.Cut(term, ":")
+		kind := hilos.FaultKind(strings.TrimSpace(kindStr))
+		if !kind.Valid() {
+			return nil, fmt.Errorf("unknown fault kind %q in term %q (known: %v)",
+				kindStr, term, hilos.FaultKinds())
+		}
+		kv := map[string]float64{}
+		for _, field := range strings.Split(rest, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(field, "=")
+			k = strings.TrimSpace(k)
+			if !ok || !allowedFaultKey(kind, k) {
+				return nil, fmt.Errorf("bad fault term %q: field %q (want %v=value)",
+					term, field, faultKeys[kind])
+			}
+			x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fault term %q: %s=%q is not a number", term, k, v)
+			}
+			kv[k] = x
+		}
+		pipe, hasPipe := kv["pipe"]
+		switch kind {
+		case hilos.FaultFailStop:
+			plan.Events = append(plan.Events, hilos.FaultEvent{
+				Kind: kind, Pipeline: int(pipe), AtSec: kv["at"], DurationSec: kv["repair"],
+			})
+		case hilos.FaultStraggler:
+			plan.Events = append(plan.Events, hilos.FaultEvent{
+				Kind: kind, Pipeline: int(pipe), AtSec: kv["at"], DurationSec: kv["for"], Factor: kv["factor"],
+			})
+		case hilos.FaultTransient:
+			if hasPipe {
+				plan.Events = append(plan.Events, hilos.FaultEvent{
+					Kind: kind, Pipeline: int(pipe), Factor: kv["prob"],
+				})
+			} else {
+				plan.TransientProb = kv["prob"]
+			}
+		case hilos.FaultWearOut:
+			if hasPipe {
+				plan.Events = append(plan.Events, hilos.FaultEvent{
+					Kind: kind, Pipeline: int(pipe), BudgetBytes: kv["budget"],
+				})
+			} else {
+				plan.WearBudgetBytes = kv["budget"]
+			}
+		}
+	}
+	return plan, nil
+}
+
+func allowedFaultKey(kind hilos.FaultKind, key string) bool {
+	for _, k := range faultKeys[kind] {
+		if k == key {
+			return true
+		}
+	}
+	return false
 }
 
 func knownSystem(sys hilos.System) bool {
@@ -402,6 +543,27 @@ func printSummary(s hilos.ClusterSummary) {
 	}
 	if s.TotalWriteBytes > 0 {
 		fmt.Printf("    flash writes total %.1fGB\n", s.TotalWriteBytes/1e9)
+	}
+}
+
+// printRobustness reports the recovery layer's accounting, ending with the
+// job-conservation check scripts grep for: admitted work that neither
+// completed nor failed terminally would be a lost job, and there are none.
+func printRobustness(s hilos.ClusterSummary) {
+	lost := s.Admitted - s.Completed - s.FailedJobs
+	fmt.Printf("    robustness: faults %d  retried %d batches/%d jobs  failed-over %d/%d  quarantines %d  degraded %d/%d  lost %d jobs\n",
+		s.FaultsInjected, s.RetriedBatches, s.RetriedJobs,
+		s.FailedOverBatches, s.FailedOverJobs, s.Quarantines,
+		s.DegradedBatches, s.DegradedJobs, lost)
+	for _, ps := range s.Pipelines {
+		if ps.Faults == 0 && ps.Quarantines == 0 && !ps.WearOut {
+			continue
+		}
+		fmt.Printf("      %-16s faults %d  quarantines %d", ps.Name, ps.Faults, ps.Quarantines)
+		if ps.WearOut {
+			fmt.Print("  WORN OUT")
+		}
+		fmt.Println()
 	}
 }
 

@@ -57,8 +57,9 @@
 // # Serving: the event-driven cluster scheduler
 //
 // The service layer is the internal/cluster scheduler: one discrete-event,
-// simulated-clock loop over four event kinds — request arrival, batch
-// wait-timeout, request start-deadline, and pipeline-free — draining
+// simulated-clock loop over eight event kinds — request arrival, batch
+// wait-timeout, request start-deadline, batch completion, fault injection,
+// pipeline repair, retry release, and pipeline-free — draining
 // per-priority-class queues through a fleet whose members may be backed by
 // different registered engines. Cluster composes a fleet with functional
 // options and drains a trace through it:
@@ -121,6 +122,64 @@
 // The pre-registry entry points (NewSimulator, Simulator.Run,
 // Simulator.RunBacklog, Simulator.EnergyPerToken) remain as deprecated
 // shims over the registry and behave identically.
+//
+// # Robustness: deterministic faults and self-healing dispatch
+//
+// Weeks-long offline batches on cheap near-storage hardware make device
+// loss, gray failures and flash wear first-class events. internal/faults
+// models them as a deterministic injector over the simulated clock, and the
+// cluster loop reacts with a recovery layer; WithFaults(FaultPlan{...})
+// wires a plan into Cluster, and WithRetryPolicy tunes the reaction.
+//
+// The fault vocabulary (FaultKinds): fail-stop takes a pipeline down at a
+// scheduled instant and repairs it a window later — the running batch is
+// killed mid-flight (its flash writes prorated by run fraction) and queued
+// work fails over; transient is a per-batch execution error probability
+// drawn from the plan's seeded PRNG (the batch burns its time, produces
+// nothing, retries); straggler multiplies a pipeline's service time over a
+// window — slow-but-alive; wear-out permanently retires a pipeline once its
+// cumulative flash writes cross an endurance budget (the §6.6 budget acted
+// on, not just reported — there is no repair for worn-out flash).
+// GenerateFailStops draws an exponential MTBF/MTTR schedule per pipeline,
+// deterministic per seed.
+//
+// The recovery layer reacts per attempt: a failed batch re-dispatches after
+// deterministic exponential backoff (base doubling per attempt up to a cap,
+// never jittered) until RetryPolicy.MaxRetries is exhausted, at which point
+// it fails terminally — exactly once, however many attempts burned.
+// FailureThreshold consecutive failures on one pipeline trip a circuit
+// breaker: the pipeline is quarantined for QuarantineSec, its queued-ahead
+// work fails over to the rest of the fleet immediately, and a repair event
+// re-admits it. When every pipeline that could serve a batch is temporarily
+// down or quarantined, placement defers to the earliest re-admission
+// instant rather than failing; when the exact tiers are out of service
+// permanently and a lossy tier (the InstInfer pipeline) can still serve,
+// work degrades there and is counted as degraded service. Only a batch no
+// fleet member can ever place fails for infeasibility.
+//
+// Two property tests pin the contracts under fuzzing with -race, on
+// checked-in corpora (internal/cluster/testdata/fuzz):
+//
+//   - Fault parity (FuzzFaultParity): an injector with nothing scheduled
+//     produces a Summary bit-identical (reflect.DeepEqual) to no injector
+//     at all — the fault machinery costs nothing and changes nothing until
+//     a fault actually fires.
+//   - Job conservation (FuzzJobConservation): under arbitrary fail-stop
+//     schedules, transient rates, stragglers and wear budgets, every
+//     admitted job completes, fails terminally, or is rejected exactly
+//     once. Nothing is lost, nothing double-counted, and
+//     Admitted == Completed + FailedJobs always balances.
+//
+// The Summary reports the whole story — FaultsInjected, RetriedBatches/
+// RetriedJobs, FailedOverBatches/FailedOverJobs, Quarantines,
+// DegradedBatches/DegradedJobs, and per-pipeline Faults/Quarantines/WearOut
+// — and telemetry streams fault, repair, retry, quarantine, failover and
+// degrade events as they happen. cmd/hilos-cluster drives it from the
+// command line (-faults 'fail-stop:pipe=0,at=120,repair=60;transient:
+// prob=0.05', -mtbf/-mttr for generated schedules, -max-retries), printing
+// a robustness line that ends in "lost 0 jobs" — CI greps for exactly
+// that. examples/chaos-replay walks through a full chaos run and its
+// bit-identical replay.
 //
 // # Performance
 //
@@ -236,15 +295,19 @@
 // (WithClusterTelemetry) emits cluster.arrivals, cluster.rejections,
 // cluster.dispatched_batches/_jobs, cluster.preempted_batches/_jobs,
 // cluster.completed_jobs, cluster.failed_batches/_jobs,
-// cluster.deadline_misses, the cluster.delay_sec histogram,
+// cluster.deadline_misses, the robustness counters
+// (cluster.faults_injected, cluster.repairs, cluster.retried_batches/_jobs,
+// cluster.quarantines, cluster.failed_over_batches/_jobs,
+// cluster.degraded_batches/_jobs), the cluster.delay_sec histogram,
 // cluster.queue_depth.p<prio>.<class> gauges, cluster.makespan_sec,
 // cluster.total_write_bytes, and per-pipeline
 // cluster.pipeline.<name>.{busy_sec, utilization, write_bytes, wear_pct,
-// write_pressure_bps} gauges. The discrete-event engines
+// write_pressure_bps, worn_out} gauges. The discrete-event engines
 // (EnableSimTelemetry) emit sim.tasks_scheduled and sim.resource_busy_sec;
 // the report cache (EnableCacheMetrics) emits repcache.hits,
 // repcache.misses and repcache.coalesced. Event kinds on the stream are
-// arrival, reject, dispatch, preempt, fail, task and resource_busy.
+// arrival, reject, dispatch, preempt, fail, fault, repair, retry,
+// quarantine, failover, degrade, task and resource_busy.
 //
 // Counters and live queue-depth gauges update as the event loop runs;
 // schedule-dependent metrics (completions, deadline misses, the delay
@@ -270,8 +333,9 @@
 //
 //   - Determinism (simdeterminism): identical inputs produce bit-identical
 //     tables. The simulation and kernel packages (internal/sim,
-//     internal/cluster, internal/serving, internal/experiments,
-//     internal/attention, internal/tensor, internal/accel) never read
+//     internal/cluster, internal/faults, internal/serving,
+//     internal/experiments, internal/attention, internal/tensor,
+//     internal/accel) never read
 //     time.Now, the process environment, or an unseeded entropy source —
 //     randomness comes from explicitly seeded rand.New(rand.NewSource(seed))
 //     streams — and Go's randomized map iteration order never reaches an

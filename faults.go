@@ -1,0 +1,85 @@
+package hilos
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/faults"
+)
+
+// Fault-injection re-exports: the deterministic failure vocabulary of the
+// cluster's robustness layer.
+type (
+	// FaultPlan describes every fault a cluster run will observe: scheduled
+	// events, a fleet-wide transient error probability, and a flash
+	// endurance budget. The zero value schedules nothing and is
+	// bit-identical to running without faults at all.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault on the simulated clock.
+	FaultEvent = faults.Event
+	// FaultKind names one injectable fault class.
+	FaultKind = faults.Kind
+	// ClusterRetryPolicy bounds the recovery layer: per-batch retries with
+	// deterministic exponential backoff, and the consecutive-failure
+	// circuit breaker that quarantines a pipeline.
+	ClusterRetryPolicy = cluster.RetryPolicy
+)
+
+// The registered fault kinds.
+const (
+	// FaultFailStop takes a pipeline down at AtSec for DurationSec: running
+	// work is killed (and retried elsewhere), queued work fails over.
+	FaultFailStop = faults.FailStop
+	// FaultTransient is a probabilistic per-batch execution error — the
+	// batch burns its time, produces nothing, and is retried with backoff.
+	FaultTransient = faults.Transient
+	// FaultStraggler multiplies a pipeline's service time by Factor for
+	// DurationSec — slow-but-alive.
+	FaultStraggler = faults.Straggler
+	// FaultWearOut permanently retires a pipeline once its cumulative flash
+	// writes cross the endurance budget.
+	FaultWearOut = faults.WearOut
+)
+
+// FaultKinds lists the registered fault kinds in documentation order.
+func FaultKinds() []FaultKind { return faults.Kinds() }
+
+// DefaultClusterRetryPolicy is the recovery configuration WithFaults implies
+// when WithRetryPolicy is not given: 3 retries, 1 s backoff doubling to 60 s,
+// quarantine after 3 consecutive failures for 120 s.
+func DefaultClusterRetryPolicy() ClusterRetryPolicy { return cluster.DefaultRetryPolicy() }
+
+// GenerateFailStops draws a deterministic fail-stop schedule for a fleet:
+// exponential times between failures (mean mtbfSec, excluding downtime) and
+// exponential repair windows (mean mttrSec) per pipeline, over [0,
+// horizonSec). Deterministic per seed and independent of trace content.
+func GenerateFailStops(seed int64, pipelines int, horizonSec, mtbfSec, mttrSec float64) ([]FaultEvent, error) {
+	return faults.GenerateFailStops(seed, pipelines, horizonSec, mtbfSec, mttrSec)
+}
+
+// WithFaults injects the plan's faults into the cluster run: fail-stop and
+// straggler windows fire at their scheduled instants, transient batch errors
+// draw from the plan's seeded PRNG, and wear budgets retire pipelines whose
+// cumulative flash writes cross them. The recovery layer (bounded retries
+// with exponential backoff, circuit-breaker quarantine, failover, degraded
+// dispatch onto lossy tiers) reacts deterministically: replays are
+// bit-identical, and a zero-value plan leaves the Summary bit-identical to
+// not calling WithFaults at all. Unless WithRetryPolicy is also given,
+// DefaultClusterRetryPolicy applies.
+func WithFaults(plan FaultPlan) ClusterOption {
+	return func(c *clusterConfig) error {
+		p := plan
+		c.faults = &p
+		return nil
+	}
+}
+
+// WithRetryPolicy replaces the recovery layer's retry/backoff/quarantine
+// configuration (see ClusterRetryPolicy; useful without WithFaults too, for
+// traces whose engines refuse batches). The zero value disables retries:
+// every failed attempt is terminal.
+func WithRetryPolicy(rp ClusterRetryPolicy) ClusterOption {
+	return func(c *clusterConfig) error {
+		r := rp
+		c.retry = &r
+		return nil
+	}
+}

@@ -316,3 +316,73 @@ func TestArrivalTraceRoundTripFacade(t *testing.T) {
 		t.Error("arrival trace did not round-trip through CSV")
 	}
 }
+
+// Robustness facade: WithFaults with a zero-value plan is bit-identical to
+// no faults at all; a real fail-stop schedule kills and recovers work with
+// nothing lost; and the InstInfer tier absorbs degraded traffic once the
+// exact pipelines wear out.
+func TestClusterWithFaults(t *testing.T) {
+	m, err := ModelByName("OPT-30B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := NewTimedWorkloadTrace(11, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := []ClusterOption{
+		WithFleet(SystemHILOS, 2, 8),
+		WithFleet(SystemInstInfer, 1, 8),
+		WithAdmission(8, 30),
+		WithDispatchPolicy(DispatchLeastLoaded),
+	}
+
+	plain, err := Cluster(m, reqs, fleet...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := Cluster(m, reqs, append(append([]ClusterOption{}, fleet...), WithFaults(FaultPlan{Seed: 3}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, empty) {
+		t.Fatal("empty fault plan changed the summary")
+	}
+
+	schedule, err := GenerateFailStops(3, 3, plain.MakespanSec, plain.MakespanSec/4, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Cluster(m, reqs, append(append([]ClusterOption{}, fleet...),
+		WithFaults(FaultPlan{Seed: 3, Events: schedule, TransientProb: 0.1}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Admitted != faulty.Completed+faulty.FailedJobs {
+		t.Fatalf("jobs lost under faults: admitted %d, completed %d, failed %d",
+			faulty.Admitted, faulty.Completed, faulty.FailedJobs)
+	}
+	if faulty.FaultsInjected == 0 {
+		t.Fatalf("no faults fired from schedule %v", schedule)
+	}
+	again, err := Cluster(m, reqs, append(append([]ClusterOption{}, fleet...),
+		WithFaults(FaultPlan{Seed: 3, Events: schedule, TransientProb: 0.1}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(faulty, again) {
+		t.Fatal("faulty replay is not deterministic")
+	}
+
+	// A custom retry policy is honored: zero retries make the first
+	// transient error terminal.
+	strict, err := Cluster(m, reqs, append(append([]ClusterOption{}, fleet...),
+		WithFaults(FaultPlan{Seed: 3, TransientProb: 1}),
+		WithRetryPolicy(ClusterRetryPolicy{}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Completed != 0 || strict.RetriedBatches != 0 || strict.FailedJobs != strict.Admitted {
+		t.Fatalf("zero-retry policy not honored: %+v", strict)
+	}
+}

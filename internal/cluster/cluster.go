@@ -5,11 +5,15 @@
 // engines (e.g. two HILOS hosts, a DRAM baseline, and an InstInfer tier)
 // under a pluggable cost-aware policy.
 //
-// The core is one discrete-event loop (events.go) over four event kinds —
-// request arrival, batch wait-timeout, request start-deadline, and
-// pipeline-free — layered over per-priority queues (queue.go) and the
-// policy/placement layer (dispatch.go). Two admission extensions change how
-// batches meet pipelines:
+// The core is one discrete-event loop (events.go) over request arrival,
+// batch wait-timeout, request start-deadline, and pipeline-free events —
+// layered over per-priority queues (queue.go) and the policy/placement
+// layer (dispatch.go). A deterministic fault injector (Config.Faults, see
+// internal/faults) adds completion, fault, repair, and retry events plus a
+// self-healing recovery layer (health.go): bounded retries with
+// exponential backoff, per-pipeline circuit breakers, failover of queued
+// work, and graceful degradation to lossy tiers. Two admission extensions
+// change how batches meet pipelines:
 //
 //   - Continuous batching re-forms batches at dispatch time: work waits in
 //     its queue until a pipeline is actually free, and the freed pipeline
@@ -41,6 +45,7 @@ import (
 
 	"repro/internal/endurance"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -117,6 +122,20 @@ type Config struct {
 	// wall clock at the serving boundary. It must not mutate scheduling
 	// state; the loop's outcome is independent of how long Pace blocks.
 	Pace func(simSec float64)
+
+	// Faults, when non-nil, injects deterministic failures into the run:
+	// fail-stop windows, transient batch errors, straggler slowdowns, and
+	// wear-out retirement (see internal/faults). Everything is driven by
+	// the plan's seed and the simulated clock — never wall time — so a
+	// faulted run replays bit-identically. An injector with nothing
+	// scheduled is equivalent to nil: the Summary is bit-identical to a
+	// fault-free run.
+	Faults *faults.Injector
+	// Retry is the recovery policy for fault-failed work. The zero value
+	// makes every failed attempt terminal; DefaultRetryPolicy() enables
+	// bounded retries with exponential backoff and the per-pipeline
+	// circuit breaker. Ignored without Faults — nothing fails mid-flight.
+	Retry RetryPolicy
 }
 
 // PipelineStats attributes completed work to one fleet member.
@@ -149,6 +168,13 @@ type PipelineStats struct {
 	// WritePressureBps is the average write bandwidth demanded while busy
 	// (WriteBytes / BusySec) — the writeback pressure the FTL must absorb.
 	WritePressureBps float64
+	// Faults counts injected faults that fired on this pipeline
+	// (fail-stops and wear-outs); Quarantines counts circuit-breaker
+	// trips; WearOut reports permanent retirement after the pipeline's
+	// cumulative writes crossed its endurance budget.
+	Faults      int
+	Quarantines int
+	WearOut     bool
 }
 
 // PriorityStats attributes scheduling outcomes to one priority class.
@@ -187,13 +213,42 @@ type Summary struct {
 	Completed int
 
 	// RejectedJobs were turned away at admission (backlog cap); FailedJobs
-	// were admitted but no pipeline could place their batch.
+	// were admitted but failed terminally — no pipeline could place their
+	// batch, or (with faults) its retry budget ran out. FailedJobIDs is
+	// deduplicated: a job that fails, retries, and fails again appears
+	// exactly once, and FailedJobs == len(FailedJobIDs) counts distinct
+	// jobs, so Admitted == Completed + FailedJobs always balances.
 	RejectedJobs   int
 	RejectedJobIDs []int
 	FailedBatches  int
 	FailedJobs     int
 	FailedJobIDs   []int
 
+	// RetriedBatches/RetriedJobs count fault-failed attempts that were
+	// re-dispatched under the retry policy (a batch retried twice counts
+	// twice). Retried work that eventually completes is in Completed;
+	// only retry-budget exhaustion moves it to Failed.
+	RetriedBatches int
+	RetriedJobs    int
+	// FailedOverBatches/FailedOverJobs count queued-ahead batches evicted
+	// from a failing or quarantined pipeline and re-dispatched elsewhere
+	// (displaced, never lost — the fault-path analog of preemption).
+	FailedOverBatches int
+	FailedOverJobs    int
+	// FaultsInjected counts injector faults that fired (fail-stops and
+	// wear-outs); Quarantines counts circuit-breaker trips across the
+	// fleet.
+	FaultsInjected int
+	Quarantines    int
+	// DegradedBatches/DegradedJobs count work a lossy tier served while
+	// every exact pipeline was down or quarantined — the graceful
+	// degradation path. Degraded jobs complete and count in Completed.
+	DegradedBatches int
+	DegradedJobs    int
+
+	// Batches counts settled batch outcomes (completions and terminal
+	// failures). Fault-aborted attempts appear in Assignments but not
+	// here — their batch settles exactly once.
 	Batches int
 	// MakespanSec is the time from the first arrival to the completion of
 	// the last batch, so traces whose timestamps carry an offset (e.g.
@@ -219,7 +274,8 @@ type Summary struct {
 	// arrival + DeadlineSec budget.
 	DeadlineMisses int
 
-	// PerClassSec attributes execution seconds to request classes.
+	// PerClassSec attributes execution seconds to request classes,
+	// including seconds burned by fault-aborted attempts.
 	PerClassSec map[string]float64
 	// PerPriority attributes scheduling outcomes per priority class, most
 	// urgent first. Single-priority (pure offline) traces have one entry.
@@ -260,20 +316,36 @@ func (s Summary) PriorityByClass(priority int) (PriorityStats, bool) {
 // summarize folds assignments into the Summary, attributing time, tokens,
 // cost and energy per pipeline and queueing delay per priority class.
 // startSec is the trace's first arrival; the makespan measures from it.
-func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, startSec float64, tally preemptTally) Summary {
+// fracs parallels asgs with each attempt's performed-write fraction (1
+// except for attempts a fail-stop killed mid-run); healths carries the
+// recovery layer's per-pipeline end state.
+func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, startSec float64, tally preemptTally, ft faultTally, healths []pipeHealth, fracs []float64) Summary {
 	s := Summary{
-		Policy:           cfg.Policy,
-		Requests:         len(reqs),
-		RejectedJobs:     len(rejected),
-		RejectedJobIDs:   rejected,
-		PreemptedBatches: tally.batches,
-		PreemptedJobs:    tally.jobs,
-		PerClassSec:      map[string]float64{},
-		Pipelines:        make([]PipelineStats, len(cfg.Fleet)),
-		Assignments:      asgs,
+		Policy:            cfg.Policy,
+		Requests:          len(reqs),
+		RejectedJobs:      len(rejected),
+		RejectedJobIDs:    rejected,
+		PreemptedBatches:  tally.batches,
+		PreemptedJobs:     tally.jobs,
+		RetriedBatches:    ft.retryBatches,
+		RetriedJobs:       ft.retryJobs,
+		FailedOverBatches: ft.failedOverB,
+		FailedOverJobs:    ft.failedOverJ,
+		FaultsInjected:    ft.faults,
+		Quarantines:       ft.quarantines,
+		DegradedBatches:   ft.degradedB,
+		DegradedJobs:      ft.degradedJ,
+		PerClassSec:       map[string]float64{},
+		Pipelines:         make([]PipelineStats, len(cfg.Fleet)),
+		Assignments:       asgs,
 	}
 	for i, p := range cfg.Fleet {
 		s.Pipelines[i].Name = p.Name
+		if i < len(healths) {
+			s.Pipelines[i].Faults = healths[i].faults
+			s.Pipelines[i].Quarantines = healths[i].quarantines
+			s.Pipelines[i].WearOut = healths[i].wearOut
+		}
 	}
 
 	prioOf := make(map[int]int, len(reqs))
@@ -302,19 +374,48 @@ func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, st
 	var delays []float64
 	prioDelays := map[int][]float64{}
 	devices := make([]int, len(cfg.Fleet))
-	for _, a := range asgs {
-		s.Batches++
+	seenFailed := map[int]bool{}
+	for ai, a := range asgs {
 		n := len(a.Batch.JobIDs)
 		if a.Pipeline < 0 {
+			// Terminal failure. IDs are deduplicated defensively: a job
+			// must fail terminally at most once (fail-retry-fail is one
+			// failure), and FailedJobs counts distinct jobs so the
+			// Admitted == Completed + FailedJobs balance holds.
+			s.Batches++
 			s.FailedBatches++
-			s.FailedJobs += n
-			s.FailedJobIDs = append(s.FailedJobIDs, a.Batch.JobIDs...)
+			for _, id := range a.Batch.JobIDs {
+				if seenFailed[id] {
+					continue
+				}
+				seenFailed[id] = true
+				s.FailedJobs++
+				s.FailedJobIDs = append(s.FailedJobIDs, id)
+			}
 			continue
 		}
 		ps := &s.Pipelines[a.Pipeline]
+		sec := a.ExecSec()
+		p := cfg.Fleet[a.Pipeline]
+		if a.Aborted {
+			// A fault-consumed attempt: the pipeline's time, dollars and
+			// (prorated) flash writes were spent on this class, but no job
+			// completed here — the batch's outcome is a later assignment.
+			ps.BusySec += sec
+			s.PerClassSec[a.Batch.Class.Name] += sec
+			ps.WriteBytes += assignmentWriteBytes(a) * fracs[ai]
+			if a.Report.Devices > devices[a.Pipeline] {
+				devices[a.Pipeline] = a.Report.Devices
+			}
+			ps.CostUSD += p.USDPerHour / 3600 * sec
+			if fin := a.FinishSec - startSec; fin > s.MakespanSec {
+				s.MakespanSec = fin
+			}
+			continue
+		}
+		s.Batches++
 		ps.Batches++
 		ps.Jobs += n
-		sec := a.ExecSec()
 		ps.BusySec += sec
 		toks := int64(n) * int64(a.Batch.Class.Output)
 		ps.OutputTokens += toks
@@ -324,7 +425,6 @@ func summarize(cfg Config, reqs []Request, asgs []Assignment, rejected []int, st
 		if a.Report.Devices > devices[a.Pipeline] {
 			devices[a.Pipeline] = a.Report.Devices
 		}
-		p := cfg.Fleet[a.Pipeline]
 		ps.CostUSD += p.USDPerHour / 3600 * sec
 		if p.Energy != nil {
 			eb, err := energy.PerToken(p.Energy.Testbed, a.Report, p.Energy.Model)

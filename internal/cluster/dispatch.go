@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -46,6 +47,12 @@ type Pipeline struct {
 	// non-empty EngineID, so N identical hosts simulate each batch shape
 	// once, not N times. Empty means a private memo for this fleet member.
 	EngineID string
+	// Lossy marks an approximating tier (e.g. InstInfer-style sparse
+	// attention): work landing here when every exact pipeline is down or
+	// quarantined is counted as degraded service in the Summary. Purely
+	// an accounting label — placement treats lossy pipelines like any
+	// other fleet member.
+	Lossy bool
 }
 
 // Policy selects how a released batch picks a pipeline.
@@ -92,15 +99,26 @@ type BatchJob struct {
 	Deadlines  []float64
 	Priority   int
 	ReleaseSec float64
+	// Attempt counts recovery re-dispatches after fault-failed attempts
+	// (0 = first attempt); the event loop's retry path maintains it.
+	Attempt int
 }
 
-// Assignment is the dispatch outcome for one batch.
+// Assignment is the dispatch outcome for one batch — with faults enabled,
+// for one *attempt* of a batch: a batch the injector fails mid-flight
+// yields an Aborted assignment per consumed attempt plus either a
+// completing assignment (a later retry succeeded) or a Pipeline == -1
+// terminal failure (the retry budget ran out).
 type Assignment struct {
 	Batch BatchJob
 	// Pipeline is the fleet index the batch ran on; -1 when no pipeline
 	// could place it (the batch failed, Reason says why).
 	Pipeline int
 	Reason   string
+	// Aborted marks an attempt a fault consumed without completing it: the
+	// pipeline's time, dollars and (prorated) flash writes were spent, but
+	// no member job finished here. Reason says what killed it.
+	Aborted bool
 	// StartSec/FinishSec bound the batch's execution on the simulated clock;
 	// StartSec − ReleaseSec is time spent waiting for the pipeline.
 	StartSec  float64
@@ -138,6 +156,14 @@ type dispatcher struct {
 	freeAt []float64
 	engKey []string // memo group per fleet index
 	group  *repcache.Group
+
+	// Recovery hooks, installed only when a fault injector is active (nil
+	// otherwise, which keeps the fault-free arithmetic bit-identical to a
+	// build without them). availAt returns the earliest instant a pipeline
+	// accepts new work (+Inf = permanently failed); slowAt returns the
+	// straggler service-time multiplier in effect at a given instant.
+	availAt func(p int) float64
+	slowAt  func(p int, at float64) float64
 }
 
 func newDispatcher(m model.Config, fleet []Pipeline, policy Policy) (*dispatcher, error) {
@@ -265,24 +291,51 @@ func (d *dispatcher) execSec(p int, c workload.Class, n int, rep pipeline.Report
 
 // placement is a planned (not yet committed) pipeline choice for one batch.
 // p is -1 when no pipeline could take the batch; reason then says why.
+// degraded marks a pick that landed on a lossy tier only because every
+// exact (non-lossy) candidate was down or quarantined.
 type placement struct {
-	p      int
-	rep    pipeline.Report
-	sec    float64
-	start  float64
-	reason string
+	p        int
+	rep      pipeline.Report
+	sec      float64
+	start    float64
+	reason   string
+	degraded bool
+}
+
+// avail returns when pipeline p next accepts work (0 without recovery
+// hooks: always available).
+func (d *dispatcher) avail(p int) float64 {
+	if d.availAt == nil {
+		return 0
+	}
+	return d.availAt(p)
+}
+
+// slow returns the straggler multiplier for pipeline p at the given instant
+// (1 without recovery hooks).
+func (d *dispatcher) slow(p int, at float64) float64 {
+	if d.slowAt == nil {
+		return 1
+	}
+	return d.slowAt(p, at)
 }
 
 // pick is the one policy-scoring loop behind plan and planIdle: it ranks
 // every pipeline that can place the batch (and, with idleOnly, is free at
 // now) without committing anything. feasible reports whether any fleet
-// member — busy or not — could ever place the batch.
-func (d *dispatcher) pick(b BatchJob, idleOnly bool, now float64) (pl placement, feasible bool) {
+// member that has not permanently failed — busy, down, or quarantined
+// included — could ever place the batch. nextAvail is the earliest
+// re-admission instant among capacity-feasible pipelines that are
+// temporarily out of service (+Inf when none is): when pl.p == -1 with
+// feasible == true, retrying the plan at nextAvail makes progress.
+func (d *dispatcher) pick(b BatchJob, idleOnly bool, now float64) (pl placement, feasible bool, nextAvail float64) {
 	n := len(b.JobIDs)
 	best := -1
 	var bestRep pipeline.Report
 	var bestSec, bestKey, bestTie, bestStart float64
-	var firstReason string
+	var firstReason, deadReason string
+	nextAvail = math.Inf(1)
+	exactCandidate, exactBlocked := false, false
 	for p := range d.fleet {
 		rep := d.report(p, b.Class, n)
 		if rep.OOM || rep.Batch < 1 {
@@ -291,15 +344,39 @@ func (d *dispatcher) pick(b BatchJob, idleOnly bool, now float64) (pl placement,
 			}
 			continue
 		}
+		avail := d.avail(p)
+		if math.IsInf(avail, 1) {
+			// Permanently failed (wear-out): can never place anything again.
+			if deadReason == "" {
+				deadReason = fmt.Sprintf("pipeline %s permanently failed", d.fleet[p].Name)
+			}
+			if !d.fleet[p].Lossy {
+				exactBlocked = true
+			}
+			continue
+		}
 		feasible = true
+		if avail > now {
+			// Down or quarantined: no new work until re-admission.
+			if avail < nextAvail {
+				nextAvail = avail
+			}
+			if !d.fleet[p].Lossy {
+				exactBlocked = true
+			}
+			continue
+		}
 		if idleOnly && d.freeAt[p] > now {
 			continue // busy: continuous batching never queues behind it
 		}
-		sec := d.execSec(p, b.Class, n, rep)
+		if !d.fleet[p].Lossy {
+			exactCandidate = true
+		}
 		start := b.ReleaseSec
 		if d.freeAt[p] > start {
 			start = d.freeAt[p]
 		}
+		sec := d.execSec(p, b.Class, n, rep) * d.slow(p, start)
 		var key, tie float64
 		switch d.policy {
 		case LeastLoaded:
@@ -314,27 +391,36 @@ func (d *dispatcher) pick(b BatchJob, idleOnly bool, now float64) (pl placement,
 		}
 	}
 	if best < 0 {
-		if firstReason == "" {
-			firstReason = "no feasible pipeline"
+		reason := firstReason
+		if reason == "" {
+			reason = deadReason
 		}
-		return placement{p: -1, reason: firstReason}, feasible
+		if reason == "" {
+			reason = "no feasible pipeline"
+		}
+		return placement{p: -1, reason: reason}, feasible, nextAvail
 	}
-	return placement{p: best, rep: bestRep, sec: bestSec, start: bestStart}, true
+	pl = placement{p: best, rep: bestRep, sec: bestSec, start: bestStart}
+	// Degraded service: the pick landed on a lossy tier while every exact
+	// pipeline that could serve this batch is down, quarantined, or worn
+	// out.
+	pl.degraded = d.fleet[best].Lossy && !exactCandidate && exactBlocked
+	return pl, true, nextAvail
 }
 
 // plan picks a pipeline for the batch per the policy without committing it:
 // the pipeline clocks are untouched until commit. Failed plans (p == -1)
-// carry the first engine's refusal reason.
-func (d *dispatcher) plan(b BatchJob) placement {
-	pl, _ := d.pick(b, false, 0)
-	return pl
+// carry the first engine's refusal reason; feasible and nextAvail follow
+// pick's contract for the recovery layer's deferral decision.
+func (d *dispatcher) plan(b BatchJob, now float64) (placement, bool, float64) {
+	return d.pick(b, false, now)
 }
 
 // planIdle picks a pipeline among those idle at now (freeAt ≤ now) — the
 // continuous-batching variant, where batches are never queued ahead on a
 // busy pipeline. feasible == false means the batch fails as a unit; true
-// with p == -1 means "wait for a pipeline-free event".
-func (d *dispatcher) planIdle(b BatchJob, now float64) (placement, bool) {
+// with p == -1 means "wait for a pipeline-free (or repair) event".
+func (d *dispatcher) planIdle(b BatchJob, now float64) (placement, bool, float64) {
 	return d.pick(b, true, now)
 }
 
@@ -353,7 +439,7 @@ func (d *dispatcher) commit(b BatchJob, pl placement) Assignment {
 // pipeline's clock, and returns the assignment. Failed batches leave every
 // clock untouched.
 func (d *dispatcher) assign(b BatchJob) Assignment {
-	pl := d.plan(b)
+	pl, _, _ := d.plan(b, 0)
 	if pl.p < 0 {
 		return Assignment{Batch: b, Pipeline: -1, Reason: pl.reason}
 	}

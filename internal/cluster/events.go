@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/endurance"
+	"repro/internal/faults"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -13,7 +15,13 @@ import (
 // close-at-admission mode slots queue up on a pipeline's chain and may be
 // evicted (preempted at the batch boundary) before they start; in
 // continuous-batching mode a slot starts the instant it is formed. Failed
-// slots (pipe == -1) record batches no pipeline could ever place.
+// slots (pipe == -1) record batches no pipeline could ever place — or, with
+// retries enabled, batches whose recovery budget ran out.
+//
+// The fault machinery adds attempt outcomes: an aborted slot consumed its
+// pipeline (a transient batch error, or a fail-stop killing it mid-run —
+// writeFrac says how much of its flash writes landed) but completed no
+// work; its batch's retry or terminal failure is recorded separately.
 type slot struct {
 	b       BatchJob
 	rep     placementReport
@@ -22,6 +30,12 @@ type slot struct {
 	start   float64
 	finish  float64
 	evicted bool
+
+	aborted   bool
+	transient bool    // this attempt draws a transient batch error at finish
+	done      bool    // completion already processed (evDone dedup)
+	degraded  bool    // served by a lossy tier for lack of a healthy exact one
+	writeFrac float64 // fraction of the attempt's flash writes performed
 }
 
 // placementReport bundles what commit needs to (re)compute a slot's timing.
@@ -58,6 +72,19 @@ type eventLoop struct {
 
 	rejected []int
 	tally    preemptTally
+
+	// Recovery layer, active only with a non-empty fault injector: inj is
+	// nil otherwise and every fault path below is skipped, leaving the
+	// loop's behavior bit-identical to a fault-free build.
+	inj    *faults.Injector
+	retry  RetryPolicy
+	health []pipeHealth
+	ft     faultTally
+	// pendingRetries holds failed-over and retried batches awaiting an
+	// idle pipeline in continuous mode; they dispatch ahead of the queues
+	// (they are the oldest admitted work). Whatever is still here when the
+	// event heap drains fails terminally — no batch is silently lost.
+	pendingRetries []BatchJob
 }
 
 // preemptTally counts batch-boundary evictions.
@@ -90,6 +117,14 @@ func (l *eventLoop) run() {
 			l.fireTimeout(e)
 		case evDeadline:
 			l.fireDeadline(e)
+		case evDone:
+			l.fireDone(e)
+		case evFault:
+			l.injectFault(e.pipe, e.fault)
+		case evRepair:
+			l.fireRepair(e)
+		case evRetry:
+			l.redispatch(e.b)
 		case evFree:
 			l.tryDispatch()
 		}
@@ -250,16 +285,30 @@ func (l *eventLoop) closeQueue(q *classQueue, release float64) {
 	l.place(b)
 }
 
-// commitSlot materializes a planned placement as a schedule slot.
+// commitSlot materializes a planned placement as a schedule slot. With a
+// fault injector active it also draws the attempt's transient-error fate
+// (at commit, in dispatch order — single-goroutine, so the PRNG stream is
+// deterministic) and arms a completion event carrying the finish it was
+// armed for, so preemption-shifted slots invalidate stale completions.
 func (l *eventLoop) commitSlot(b BatchJob, pl placement) *slot {
 	s := &slot{
 		b: b, rep: placementReport{rep: pl.rep, execSec: pl.sec},
 		pipe: pl.p, start: pl.start, finish: pl.start + pl.sec,
+		degraded: pl.degraded, writeFrac: 1,
 	}
 	l.d.freeAt[pl.p] = s.finish
 	l.chains[pl.p] = append(l.chains[pl.p], s)
 	l.order = append(l.order, s)
 	l.cfg.Telemetry.onDispatch(l.now, s, l.cfg.Fleet[pl.p].Name)
+	if l.inj != nil {
+		s.transient = l.inj.BatchFails(pl.p)
+		if pl.degraded {
+			l.ft.degradedB++
+			l.ft.degradedJ += len(b.JobIDs)
+			l.cfg.Telemetry.onDegrade(l.now, s, l.cfg.Fleet[pl.p].Name)
+		}
+		l.push(event{at: s.finish, kind: evDone, s: s, dl: s.finish})
+	}
 	return s
 }
 
@@ -275,29 +324,37 @@ func (l *eventLoop) failSlot(b BatchJob, reason string) {
 // evicting strictly-lower-priority unstarted slots; evicted batches are
 // re-enqueued, never dropped.
 func (l *eventLoop) place(b BatchJob) {
-	pl := l.d.plan(b)
-	if pl.p < 0 {
-		l.failSlot(b, pl.reason)
-		return
-	}
-	if l.cfg.Admission.Preemption && minDeadline(b) < pl.start {
+	pl, feasible, nextAvail := l.d.plan(b, l.now)
+	if pl.p >= 0 && l.cfg.Admission.Preemption && minDeadline(b) < pl.start {
 		if p, est := l.bestPreemptive(b); p >= 0 && est < pl.start {
 			l.preemptInto(p, b)
 			return
 		}
 	}
-	l.commitSlot(b, pl)
+	l.finishPlacement(b, pl, feasible, nextAvail)
 }
 
 // placePlain dispatches without the preemption escalation — used for
 // re-dispatching evicted batches, so one eviction cannot cascade.
 func (l *eventLoop) placePlain(b BatchJob) {
-	pl := l.d.plan(b)
-	if pl.p < 0 {
+	pl, feasible, nextAvail := l.d.plan(b, l.now)
+	l.finishPlacement(b, pl, feasible, nextAvail)
+}
+
+// finishPlacement settles a plan (close-at-admission mode): commit it,
+// or — when every pipeline that could serve the batch is temporarily down
+// or quarantined — defer to the earliest re-admission instant instead of
+// failing work the fleet will soon be able to run. Only a batch no pipeline
+// can ever place fails terminally.
+func (l *eventLoop) finishPlacement(b BatchJob, pl placement, feasible bool, nextAvail float64) {
+	switch {
+	case pl.p >= 0:
+		l.commitSlot(b, pl)
+	case feasible && !math.IsInf(nextAvail, 1):
+		l.push(event{at: nextAvail, kind: evRetry, b: b})
+	default:
 		l.failSlot(b, pl.reason)
-		return
 	}
-	l.commitSlot(b, pl)
 }
 
 // bestPreemptive returns the feasible pipeline on which b would start
@@ -311,6 +368,9 @@ func (l *eventLoop) bestPreemptive(b BatchJob) (int, float64) {
 		rep := l.d.report(p, b.Class, n)
 		if rep.OOM || rep.Batch < 1 {
 			continue
+		}
+		if l.d.avail(p) > l.now {
+			continue // down, quarantined, or worn out: nothing to preempt into
 		}
 		prevFinish := l.floors[p]
 		for _, s := range l.chains[p] {
@@ -349,8 +409,8 @@ func (l *eventLoop) preemptInto(p int, b BatchJob) {
 
 	n := len(b.JobIDs)
 	rep := l.d.report(p, b.Class, n)
-	sec := l.d.execSec(p, b.Class, n, rep)
 	start := math.Max(b.ReleaseSec, l.d.freeAt[p])
+	sec := l.d.execSec(p, b.Class, n, rep) * l.d.slow(p, start)
 	l.commitSlot(b, placement{p: p, rep: rep, sec: sec, start: start})
 
 	for _, ev := range evicted {
@@ -368,7 +428,10 @@ func (l *eventLoop) preemptInto(p int, b BatchJob) {
 
 // recompute re-times pipeline p's unstarted suffix after an eviction:
 // survivors shift up to max(their release, predecessor finish), and the
-// pipeline clock tracks the new chain end.
+// pipeline clock tracks the new chain end. With faults active each shifted
+// slot re-arms its completion event for the new finish; the events armed
+// for the old finish go stale (their dl no longer matches) and a done flag
+// dedups the case where two armings land on the same instant.
 func (l *eventLoop) recompute(p int) {
 	prevFinish := l.floors[p]
 	for _, s := range l.chains[p] {
@@ -376,11 +439,211 @@ func (l *eventLoop) recompute(p int) {
 			prevFinish = s.finish
 			continue
 		}
+		old := s.finish
 		s.start = math.Max(s.b.ReleaseSec, prevFinish)
 		s.finish = s.start + s.rep.execSec
 		prevFinish = s.finish
+		if l.inj != nil && s.finish != old {
+			l.push(event{at: s.finish, kind: evDone, s: s, dl: s.finish})
+		}
 	}
 	l.d.freeAt[p] = prevFinish
+}
+
+// slotWriteBytes is the flash write volume of one attempt at full
+// completion — assignmentWriteBytes' twin on the loop's slot form, used to
+// charge wear budgets as writes land.
+func slotWriteBytes(s *slot) float64 {
+	rep := s.rep.rep
+	if rep.Batch < 1 {
+		return 0
+	}
+	n := len(s.b.JobIDs)
+	passes := float64((n + rep.Batch - 1) / rep.Batch)
+	steps := s.b.Class.Output - 1
+	if steps < 0 {
+		steps = 0
+	}
+	return passes * (rep.PrefillWriteBytes + rep.DecodeWriteBytesPerStep*float64(steps))
+}
+
+// fireDone settles one attempt at its finish (faults active only): charge
+// the attempt's flash writes against the pipeline's wear budget, then
+// resolve its transient-error fate. Stale events — the slot was evicted,
+// killed, or re-timed by preemption — are skipped; the done flag dedups
+// re-armed events that landed on the same finish.
+func (l *eventLoop) fireDone(e event) {
+	s := e.s
+	if s.done || s.evicted || s.aborted || s.finish != e.dl {
+		return
+	}
+	s.done = true
+	p := s.pipe
+	if l.health[p].wear.Add(slotWriteBytes(s)) {
+		// This attempt's writes crossed the endurance budget: the pipeline
+		// retires permanently, effective now (the completion boundary).
+		l.injectFault(p, faults.Event{Kind: faults.WearOut, Pipeline: p, AtSec: l.now})
+	}
+	if s.transient {
+		s.aborted = true
+		s.reason = "transient batch error"
+		l.noteFailure(p)
+		l.failAttempt(p, s.b, "transient batch error")
+		return
+	}
+	l.health[p].consecFails = 0
+}
+
+// injectFault applies one injected fault to pipeline p: a wear-out retires
+// it permanently, a fail-stop takes it down for the event's repair window
+// (with the repair re-admission scheduled). The running slot dies on the
+// spot — its flash writes prorated by run fraction, its batch routed into
+// the retry path — and queued-ahead work fails over immediately.
+func (l *eventLoop) injectFault(p int, fe faults.Event) {
+	h := &l.health[p]
+	if math.IsInf(h.downUntil, 1) {
+		return // already permanently retired
+	}
+	if fe.Kind == faults.WearOut {
+		h.downUntil = math.Inf(1)
+		h.wearOut = true
+	} else {
+		if h.downUntil > l.now {
+			return // overlapping fail-stop: the pipeline is already down
+		}
+		h.downUntil = l.now + fe.DurationSec
+		l.push(event{at: h.downUntil, kind: evRepair, pipe: p})
+	}
+	h.faults++
+	l.ft.faults++
+	l.cfg.Telemetry.onFault(l.now, l.cfg.Fleet[p].Name, fe)
+	for _, s := range l.chains[p] {
+		if s.aborted || s.evicted || s.start > l.now || s.finish <= l.now {
+			continue
+		}
+		frac := 0.0
+		if s.finish > s.start {
+			frac = (l.now - s.start) / (s.finish - s.start)
+		}
+		s.aborted = true
+		s.writeFrac = frac
+		s.finish = l.now
+		s.reason = "killed by " + string(fe.Kind)
+		if h.wear.Add(frac * slotWriteBytes(s)) {
+			// The partial writes themselves exhausted the budget: the
+			// repair window becomes moot — the device is worn out.
+			h.downUntil = math.Inf(1)
+			h.wearOut = true
+		}
+		l.failAttempt(p, s.b, "killed by "+string(fe.Kind))
+	}
+	l.evictUnstarted(p, string(fe.Kind))
+}
+
+// fireRepair re-admits pipeline p when its downtime and quarantine have
+// both passed (a repair armed for a window that was later superseded — or
+// for a pipeline that wore out permanently in the meantime — is stale and
+// skipped), then offers it the waiting work.
+func (l *eventLoop) fireRepair(e event) {
+	p := e.pipe
+	h := &l.health[p]
+	if h.downUntil > l.now || h.quarUntil > l.now {
+		return
+	}
+	h.consecFails = 0
+	l.cfg.Telemetry.onRepair(l.now, l.cfg.Fleet[p].Name)
+	l.tryDispatch()
+}
+
+// failAttempt routes one failed attempt of a batch: re-dispatch after
+// deterministic exponential backoff while the retry budget lasts, terminal
+// failure once it is exhausted. Backoff is never jittered — replays are
+// bit-identical.
+func (l *eventLoop) failAttempt(p int, b BatchJob, reason string) {
+	attempt := b.Attempt + 1
+	if attempt > l.retry.MaxRetries {
+		l.failSlot(b, reason+" (retries exhausted)")
+		return
+	}
+	nb := b
+	nb.Attempt = attempt
+	nb.ReleaseSec = l.now + l.retry.backoffSec(attempt)
+	l.ft.retryBatches++
+	l.ft.retryJobs += len(nb.JobIDs)
+	l.cfg.Telemetry.onRetry(l.now, nb, reason, l.cfg.Fleet[p].Name)
+	l.push(event{at: nb.ReleaseSec, kind: evRetry, b: nb})
+}
+
+// noteFailure advances pipeline p's circuit breaker after a failed attempt:
+// at FailureThreshold consecutive failures the pipeline is quarantined for
+// QuarantineSec, its queued-ahead work fails over, and a re-admission is
+// scheduled. Runs before the failed batch's own retry is armed, so even a
+// zero-backoff retry sees the quarantine.
+func (l *eventLoop) noteFailure(p int) {
+	h := &l.health[p]
+	h.consecFails++
+	if l.retry.FailureThreshold <= 0 || h.consecFails < l.retry.FailureThreshold {
+		return
+	}
+	if h.downUntil > l.now || h.quarUntil > l.now {
+		return // already out of service
+	}
+	h.consecFails = 0
+	h.quarUntil = l.now + l.retry.QuarantineSec
+	h.quarantines++
+	l.ft.quarantines++
+	l.cfg.Telemetry.onQuarantine(l.now, l.cfg.Fleet[p].Name, l.retry.QuarantineSec)
+	l.evictUnstarted(p, "quarantine")
+	l.push(event{at: h.quarUntil, kind: evRepair, pipe: p})
+}
+
+// evictUnstarted fails pipeline p's queued-ahead (unstarted) slots over to
+// the rest of the fleet: each is evicted and re-dispatched at the current
+// instant, exactly like a preemption eviction — displaced, never lost. The
+// chain is re-timed unconditionally, which also rewinds the pipeline clock
+// after a kill truncated the running slot.
+func (l *eventLoop) evictUnstarted(p int, cause string) {
+	var kept, evicted []*slot
+	for _, s := range l.chains[p] {
+		if s.start > l.now {
+			s.evicted = true
+			evicted = append(evicted, s)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	l.chains[p] = kept
+	l.recompute(p)
+	for _, ev := range evicted {
+		l.ft.failedOverB++
+		l.ft.failedOverJ += len(ev.b.JobIDs)
+		l.cfg.Telemetry.onFailover(l.now, ev, cause, l.cfg.Fleet[p].Name)
+	}
+	for _, ev := range evicted {
+		nb := ev.b
+		nb.ReleaseSec = l.now
+		l.redispatch(nb)
+	}
+}
+
+// redispatch places recovered work (a retry whose backoff expired, or a
+// failed-over batch): continuous mode parks it on the pendingRetries list
+// — drained ahead of the queues at the next dispatch opportunity — while
+// close-at-admission mode re-plans immediately, deferring again if the
+// whole fleet is still out of service.
+func (l *eventLoop) redispatch(b BatchJob) {
+	if b.ReleaseSec < l.now {
+		// Recovered work re-releases at the instant it re-enters dispatch:
+		// a batch deferred past its backoff expiry must not be backdated to
+		// a start while its pipeline was still down.
+		b.ReleaseSec = l.now
+	}
+	if l.cfg.Admission.ContinuousBatching {
+		l.pendingRetries = append(l.pendingRetries, b)
+		l.tryDispatch()
+		return
+	}
+	l.placePlain(b)
 }
 
 // ripe reports whether a queue may dispatch now (continuous mode): a full
@@ -428,6 +691,9 @@ func (l *eventLoop) tryDispatch() {
 		return
 	}
 	for {
+		if l.dispatchRetry() {
+			continue
+		}
 		placed := false
 		for _, q := range l.ripeQueues() {
 			n := len(q.reqs)
@@ -435,10 +701,10 @@ func (l *eventLoop) tryDispatch() {
 				n = l.cfg.Admission.MaxBatch
 			}
 			b := makeBatch(q.key, q.reqs[:n], l.now)
-			pl, feasible := l.d.planIdle(b, l.now)
+			pl, feasible, _ := l.d.planIdle(b, l.now)
 			if pl.p < 0 {
 				if feasible {
-					continue // every feasible pipeline is busy: wait for a free event
+					continue // every feasible pipeline is busy or down: wait for a free/repair event
 				}
 				l.takeFromQueue(q, n)
 				l.failSlot(b, pl.reason)
@@ -455,6 +721,33 @@ func (l *eventLoop) tryDispatch() {
 			return
 		}
 	}
+}
+
+// dispatchRetry tries to place one batch off the pendingRetries list
+// (continuous mode): recovered work dispatches ahead of the queues because
+// it is the oldest admitted work. A batch no fleet member can ever serve
+// again fails terminally; one that is merely waiting on busy or recovering
+// pipelines stays parked for the next free/repair event.
+func (l *eventLoop) dispatchRetry() bool {
+	for i, b := range l.pendingRetries {
+		if b.ReleaseSec < l.now {
+			b.ReleaseSec = l.now // parked since an earlier instant: re-release now
+		}
+		pl, feasible, _ := l.d.planIdle(b, l.now)
+		if pl.p < 0 {
+			if feasible {
+				continue
+			}
+			l.pendingRetries = append(l.pendingRetries[:i], l.pendingRetries[i+1:]...)
+			l.failSlot(b, pl.reason)
+			return true
+		}
+		l.pendingRetries = append(l.pendingRetries[:i], l.pendingRetries[i+1:]...)
+		s := l.commitSlot(b, pl)
+		l.push(event{at: s.finish, kind: evFree})
+		return true
+	}
+	return false
 }
 
 // takeFromQueue removes the queue's n oldest requests and re-arms its
@@ -483,12 +776,22 @@ func Run(cfg Config, reqs []Request) (Summary, error) {
 	if err := cfg.Admission.validate(); err != nil {
 		return Summary{}, err
 	}
+	if err := cfg.Retry.validate(); err != nil {
+		return Summary{}, err
+	}
 	if len(reqs) == 0 {
 		return Summary{}, fmt.Errorf("cluster: empty trace")
 	}
 	d, err := newDispatcher(cfg.Model, cfg.Fleet, cfg.Policy)
 	if err != nil {
 		return Summary{}, err
+	}
+	// An injector with nothing to inject is dropped entirely: every fault
+	// path below keys off inj != nil, so the empty-injector run is the
+	// fault-free run, bit for bit.
+	inj := cfg.Faults
+	if inj.Empty() {
+		inj = nil
 	}
 
 	sorted := make([]Request, len(reqs))
@@ -534,26 +837,55 @@ func Run(cfg Config, reqs []Request) (Summary, error) {
 		chains: make([][]*slot, len(cfg.Fleet)),
 		floors: make([]float64, len(cfg.Fleet)),
 		tally:  preemptTally{byPrio: map[int]int{}},
+		inj:    inj,
+		retry:  cfg.Retry,
+		health: make([]pipeHealth, len(cfg.Fleet)),
 	}
 	for _, r := range sorted {
 		l.push(event{at: r.ArrivalSec, kind: evArrival, req: r})
 	}
+	if inj != nil {
+		d.availAt = l.availAt
+		d.slowAt = inj.SlowFactor
+		for p := range l.health {
+			if budget := inj.WearBudgetBytes(p); budget > 0 {
+				l.health[p].wear = endurance.NewBudget(budget)
+			}
+		}
+		for _, fe := range inj.FailStops() {
+			if fe.Pipeline >= len(cfg.Fleet) {
+				return Summary{}, fmt.Errorf("cluster: fault schedule targets pipeline %d of a %d-pipeline fleet", fe.Pipeline, len(cfg.Fleet))
+			}
+			l.push(event{at: fe.AtSec, kind: evFault, pipe: fe.Pipeline, fault: fe})
+		}
+	}
 	l.run()
+	// Job conservation's backstop: recovered work still parked when the
+	// event heap drains means no pipeline will ever serve it — fail it
+	// terminally rather than lose it silently.
+	for _, b := range l.pendingRetries {
+		l.failSlot(b, "no healthy pipeline before trace end")
+	}
+	l.pendingRetries = nil
 
 	asgs := make([]Assignment, 0, len(l.order))
+	fracs := make([]float64, 0, len(l.order))
 	for _, s := range l.order {
 		if s.evicted {
 			continue
 		}
 		if s.pipe < 0 {
 			asgs = append(asgs, Assignment{Batch: s.b, Pipeline: -1, Reason: s.reason})
+			fracs = append(fracs, 0)
 			continue
 		}
 		asgs = append(asgs, Assignment{
 			Batch: s.b, Pipeline: s.pipe,
 			StartSec: s.start, FinishSec: s.finish,
-			Report: s.rep.rep,
+			Report:  s.rep.rep,
+			Aborted: s.aborted, Reason: s.reason,
 		})
+		fracs = append(fracs, s.writeFrac)
 	}
-	return summarize(cfg, sorted, asgs, l.rejected, sorted[0].ArrivalSec, l.tally), nil
+	return summarize(cfg, sorted, asgs, l.rejected, sorted[0].ArrivalSec, l.tally, l.ft, l.health, fracs), nil
 }

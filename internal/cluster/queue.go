@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/workload"
 )
 
@@ -71,12 +72,20 @@ func (q *classQueue) minStartDeadline() float64 {
 
 // Event kinds, in pop order at equal timestamps. Arrivals precede timeouts
 // so a request arriving at a queue's exact wait deadline still joins its
-// batch (the pre-event-loop admission semantics); deadline and pipeline-free
-// events follow.
+// batch (the pre-event-loop admission semantics); deadline events follow.
+// The fault-machinery kinds (all absent without an injector) order so that
+// at one instant a batch finishing exactly when a fault fires still
+// completes (done before fault), a repair precedes any retry armed for the
+// repair instant (the retried batch sees the pipeline healthy), and
+// pipeline-free dispatch runs last, over settled health state.
 const (
 	evArrival = iota
 	evTimeout
 	evDeadline
+	evDone   // a committed slot reaches its finish (armed only with faults)
+	evFault  // an injected fail-stop or wear-out fires
+	evRepair // a pipeline re-admits (repair window or quarantine expiry)
+	evRetry  // a failed batch's backoff expired: re-place it
 	evFree
 )
 
@@ -87,7 +96,12 @@ type event struct {
 	seq  int     // creation order: the final deterministic tie-break
 	req  Request // evArrival, evDeadline: the request involved
 	key  queueKey
-	dl   float64 // evTimeout: the head deadline the event was armed for
+	dl   float64 // evTimeout/evDone: the deadline/finish the event was armed for
+
+	pipe  int          // evFault, evRepair: the pipeline involved
+	fault faults.Event // evFault: the injected fault
+	b     BatchJob     // evRetry: the batch to re-place
+	s     *slot        // evDone: the slot whose finish this narrates
 }
 
 // eventHeap is a min-heap over (time, kind, queue order, sequence).

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -35,6 +36,15 @@ type Telemetry struct {
 	dispJobs   *telemetry.Counter
 	preBatch   *telemetry.Counter
 	preJobs    *telemetry.Counter
+	faultsC    *telemetry.Counter
+	repairs    *telemetry.Counter
+	retryBatch *telemetry.Counter
+	retryJobs  *telemetry.Counter
+	quarC      *telemetry.Counter
+	foBatch    *telemetry.Counter
+	foJobs     *telemetry.Counter
+	degBatch   *telemetry.Counter
+	degJobs    *telemetry.Counter
 	clock      *telemetry.Gauge
 
 	queueDepth map[queueKey]*telemetry.Gauge
@@ -56,6 +66,15 @@ func NewTelemetry(reg *telemetry.Registry, stream *telemetry.Stream) *Telemetry 
 		dispJobs:   reg.Counter("cluster.dispatched_jobs"),
 		preBatch:   reg.Counter("cluster.preempted_batches"),
 		preJobs:    reg.Counter("cluster.preempted_jobs"),
+		faultsC:    reg.Counter("cluster.faults_injected"),
+		repairs:    reg.Counter("cluster.repairs"),
+		retryBatch: reg.Counter("cluster.retried_batches"),
+		retryJobs:  reg.Counter("cluster.retried_jobs"),
+		quarC:      reg.Counter("cluster.quarantines"),
+		foBatch:    reg.Counter("cluster.failed_over_batches"),
+		foJobs:     reg.Counter("cluster.failed_over_jobs"),
+		degBatch:   reg.Counter("cluster.degraded_batches"),
+		degJobs:    reg.Counter("cluster.degraded_jobs"),
 		clock:      reg.Gauge("cluster.sim_clock_sec"),
 		queueDepth: map[queueKey]*telemetry.Gauge{},
 	}
@@ -165,6 +184,87 @@ func (t *Telemetry) onPreempt(now float64, ev *slot, byPriority int, pipeName st
 	})
 }
 
+// onFault records one injected fault firing on a pipeline.
+func (t *Telemetry) onFault(now float64, pipeName string, fe faults.Event) {
+	if t == nil {
+		return
+	}
+	t.faultsC.Inc()
+	t.stream.Publish(telemetry.Event{
+		TSec: now, Kind: "fault", Subsystem: "cluster",
+		Pipeline: pipeName, Value: fe.DurationSec,
+		Detail: string(fe.Kind),
+	})
+}
+
+// onRepair records a pipeline's re-admission after downtime or quarantine.
+func (t *Telemetry) onRepair(now float64, pipeName string) {
+	if t == nil {
+		return
+	}
+	t.repairs.Inc()
+	t.stream.Publish(telemetry.Event{
+		TSec: now, Kind: "repair", Subsystem: "cluster", Pipeline: pipeName,
+	})
+}
+
+// onRetry records one failed attempt re-entering dispatch after backoff.
+func (t *Telemetry) onRetry(now float64, b BatchJob, reason, pipeName string) {
+	if t == nil {
+		return
+	}
+	t.retryBatch.Inc()
+	t.retryJobs.Add(int64(len(b.JobIDs)))
+	t.stream.Publish(telemetry.Event{
+		TSec: now, Kind: "retry", Subsystem: "cluster",
+		Pipeline: pipeName, Class: b.Class.Name, Priority: b.Priority,
+		Jobs: len(b.JobIDs), Value: b.ReleaseSec - now,
+		Detail: fmt.Sprintf("attempt=%d %s", b.Attempt, reason),
+	})
+}
+
+// onQuarantine records a circuit-breaker trip.
+func (t *Telemetry) onQuarantine(now float64, pipeName string, durSec float64) {
+	if t == nil {
+		return
+	}
+	t.quarC.Inc()
+	t.stream.Publish(telemetry.Event{
+		TSec: now, Kind: "quarantine", Subsystem: "cluster",
+		Pipeline: pipeName, Value: durSec,
+	})
+}
+
+// onFailover records one queued-ahead slot evicted from a failing pipeline
+// and re-dispatched elsewhere.
+func (t *Telemetry) onFailover(now float64, ev *slot, cause, pipeName string) {
+	if t == nil {
+		return
+	}
+	t.foBatch.Inc()
+	t.foJobs.Add(int64(len(ev.b.JobIDs)))
+	t.stream.Publish(telemetry.Event{
+		TSec: now, Kind: "failover", Subsystem: "cluster",
+		Pipeline: pipeName, Class: ev.b.Class.Name, Priority: ev.b.Priority,
+		Jobs: len(ev.b.JobIDs), Detail: cause,
+	})
+}
+
+// onDegrade records a batch landing on a lossy tier because every exact
+// pipeline was out of service.
+func (t *Telemetry) onDegrade(now float64, s *slot, pipeName string) {
+	if t == nil {
+		return
+	}
+	t.degBatch.Inc()
+	t.degJobs.Add(int64(len(s.b.JobIDs)))
+	t.stream.Publish(telemetry.Event{
+		TSec: now, Kind: "degrade", Subsystem: "cluster",
+		Pipeline: pipeName, Class: s.b.Class.Name, Priority: s.b.Priority,
+		Jobs: len(s.b.JobIDs),
+	})
+}
+
 // delayBounds buckets queueing delay in seconds, log-spaced from sub-second
 // to hours.
 var delayBounds = []float64{0.1, 0.5, 1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600}
@@ -205,5 +305,8 @@ func (t *Telemetry) finalize(s Summary) {
 		t.reg.Gauge(prefix + ".write_bytes").Set(ps.WriteBytes)
 		t.reg.Gauge(prefix + ".wear_pct").Set(ps.WearPct)
 		t.reg.Gauge(prefix + ".write_pressure_bps").Set(ps.WritePressureBps)
+		if ps.WearOut {
+			t.reg.Gauge(prefix + ".worn_out").Set(1)
+		}
 	}
 }

@@ -7,6 +7,7 @@ package endurance
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/model"
 	"repro/internal/workload"
@@ -90,3 +91,66 @@ func ServiceableRequests(m model.Config, class workload.Class, w WriteModel, dev
 	}
 	return float64(devices) * PBWBytes(pbw) / per, nil
 }
+
+// Budget tracks cumulative flash writes against an endurance limit — the
+// live counterpart of ServiceableRequests, consumed by the cluster's
+// wear-out fault path. The write that reaches the limit exhausts the
+// budget; a budget may be shared (several pipelines Add-ing into one
+// array-wide allowance). A nil *Budget is unlimited: Add never exhausts
+// it, so the no-wear configuration costs one pointer check.
+type Budget struct {
+	limit     float64
+	used      float64
+	exhausted bool
+}
+
+// NewBudget returns a budget of the given byte limit (must be > 0).
+func NewBudget(limitBytes float64) *Budget {
+	return &Budget{limit: limitBytes}
+}
+
+// DeviceBudget returns the §6.6 endurance budget of an array: devices ×
+// PBWBytes(pbw).
+func DeviceBudget(devices int, pbw float64) *Budget {
+	return NewBudget(float64(devices) * PBWBytes(pbw))
+}
+
+// Add charges bytes against the budget and reports whether this call
+// crossed it: true exactly once, on the write that makes cumulative usage
+// reach or exceed the limit (writes landing exactly on the boundary
+// exhaust it — the budget is an allowance, not a strict bound). Later
+// calls keep accumulating but return false; poll Exhausted for state.
+func (b *Budget) Add(bytes float64) bool {
+	if b == nil || b.limit <= 0 {
+		return false
+	}
+	b.used += bytes
+	if !b.exhausted && b.used >= b.limit {
+		b.exhausted = true
+		return true
+	}
+	return false
+}
+
+// UsedBytes returns the cumulative writes charged so far.
+func (b *Budget) UsedBytes() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.used
+}
+
+// RemainingBytes returns the allowance left before exhaustion (0 once
+// exhausted, +Inf for a nil/unlimited budget).
+func (b *Budget) RemainingBytes() float64 {
+	if b == nil || b.limit <= 0 {
+		return math.Inf(1)
+	}
+	if r := b.limit - b.used; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Exhausted reports whether cumulative writes have reached the limit.
+func (b *Budget) Exhausted() bool { return b != nil && b.exhausted }

@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// An empty plan must build an inert injector: no schedule, unit slow
+// factors, no transient draws, no wear budgets.
+func TestEmptyPlanIsInert(t *testing.T) {
+	in, err := New(Plan{Seed: 42}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Empty() {
+		t.Error("zero-value plan built a non-empty injector")
+	}
+	if got := in.FailStops(); len(got) != 0 {
+		t.Errorf("scheduled %v from an empty plan", got)
+	}
+	for p := 0; p < 3; p++ {
+		if f := in.SlowFactor(p, 100); f != 1 {
+			t.Errorf("pipeline %d slow factor %g, want 1", p, f)
+		}
+		if in.BatchFails(p) {
+			t.Errorf("pipeline %d drew a transient failure with probability 0", p)
+		}
+		if b := in.WearBudgetBytes(p); b != 0 {
+			t.Errorf("pipeline %d wear budget %g, want 0 (unlimited)", p, b)
+		}
+	}
+	var nilInj *Injector
+	if !nilInj.Empty() || nilInj.SlowFactor(0, 0) != 1 || nilInj.BatchFails(0) {
+		t.Error("nil injector is not inert")
+	}
+}
+
+// Straggler windows multiply where they overlap and vanish outside.
+func TestSlowFactorWindows(t *testing.T) {
+	in, err := New(Plan{Events: []Event{
+		{Kind: Straggler, Pipeline: 0, AtSec: 10, DurationSec: 20, Factor: 2},
+		{Kind: Straggler, Pipeline: 0, AtSec: 25, DurationSec: 10, Factor: 3},
+		{Kind: Straggler, Pipeline: 1, AtSec: 0, DurationSec: 5, Factor: 4},
+	}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    int
+		at   float64
+		want float64
+	}{
+		{0, 9.9, 1}, {0, 10, 2}, {0, 24, 2}, {0, 26, 6}, {0, 30, 3}, {0, 35, 1},
+		{1, 0, 4}, {1, 5, 1}, {1, 100, 1},
+	}
+	for _, c := range cases {
+		if got := in.SlowFactor(c.p, c.at); got != c.want {
+			t.Errorf("SlowFactor(%d, %g) = %g, want %g", c.p, c.at, got, c.want)
+		}
+	}
+	if in.Empty() {
+		t.Error("straggler plan reported empty")
+	}
+}
+
+// Transient draws replay identically per seed, and a per-pipeline event
+// overrides the fleet-wide probability.
+func TestTransientDrawsDeterministic(t *testing.T) {
+	draw := func() []bool {
+		in, err := New(Plan{Seed: 7, TransientProb: 0.5,
+			Events: []Event{{Kind: Transient, Pipeline: 1, Factor: 0}}}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, in.BatchFails(0))
+			// Pipeline 1 is overridden to probability 0: never draws, so it
+			// must not perturb pipeline 0's stream.
+			if in.BatchFails(1) {
+				t.Fatal("probability-0 pipeline drew a failure")
+			}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("transient draws differ across identical injectors")
+	}
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("p=0.5 drew %d/%d failures — degenerate stream", fails, len(a))
+	}
+}
+
+// Wear budgets: plan-wide default with per-pipeline override.
+func TestWearBudgets(t *testing.T) {
+	in, err := New(Plan{WearBudgetBytes: 100,
+		Events: []Event{{Kind: WearOut, Pipeline: 1, BudgetBytes: 7}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.WearBudgetBytes(0); got != 100 {
+		t.Errorf("pipeline 0 budget %g, want plan-wide 100", got)
+	}
+	if got := in.WearBudgetBytes(1); got != 7 {
+		t.Errorf("pipeline 1 budget %g, want override 7", got)
+	}
+}
+
+// The generated fail-stop schedule is deterministic per seed, sorted by
+// time, confined to the horizon, and independent per pipeline.
+func TestGenerateFailStops(t *testing.T) {
+	a, err := GenerateFailStops(3, 4, 10000, 500, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFailStops(3, 4, 10000, 500, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("schedules differ across identical seeds")
+	}
+	if len(a) == 0 {
+		t.Fatal("MTBF 500 over a 10000s horizon generated no failures")
+	}
+	for i, e := range a {
+		if e.Kind != FailStop {
+			t.Errorf("event %d kind %q", i, e.Kind)
+		}
+		if e.AtSec < 0 || e.AtSec >= 10000 {
+			t.Errorf("event %d at %g outside horizon", i, e.AtSec)
+		}
+		if i > 0 && a[i-1].AtSec > e.AtSec {
+			t.Errorf("schedule not time-sorted at %d", i)
+		}
+	}
+	c, err := GenerateFailStops(4, 4, 10000, 500, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+	// The schedule must round-trip through injector validation.
+	if _, err := New(Plan{Events: a}, 4); err != nil {
+		t.Errorf("generated schedule rejected: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Plan{
+		{TransientProb: -0.1},
+		{TransientProb: 1.5},
+		{WearBudgetBytes: -1},
+		{Events: []Event{{Kind: "gremlin", Pipeline: 0}}},
+		{Events: []Event{{Kind: FailStop, Pipeline: 9}}},
+		{Events: []Event{{Kind: FailStop, Pipeline: -1}}},
+		{Events: []Event{{Kind: FailStop, Pipeline: 0, AtSec: -3}}},
+		{Events: []Event{{Kind: FailStop, Pipeline: 0, DurationSec: -3}}},
+		{Events: []Event{{Kind: Straggler, Pipeline: 0, DurationSec: 5, Factor: 0.5}}},
+		{Events: []Event{{Kind: Straggler, Pipeline: 0, Factor: 2}}},
+		{Events: []Event{{Kind: Transient, Pipeline: 0, Factor: 2}}},
+		{Events: []Event{{Kind: WearOut, Pipeline: 0, BudgetBytes: -1}}},
+	}
+	for i, p := range bad {
+		if _, err := New(p, 2); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, p)
+		}
+	}
+	if _, err := New(Plan{}, 0); err == nil {
+		t.Error("zero-pipeline fleet accepted")
+	}
+	if _, err := GenerateFailStops(1, 0, 100, 10, 1); err == nil {
+		t.Error("zero-pipeline schedule accepted")
+	}
+	if _, err := GenerateFailStops(1, 1, 100, 0, 1); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+	if _, err := GenerateFailStops(1, 1, 100, 10, -1); err == nil {
+		t.Error("negative MTTR accepted")
+	}
+	if _, err := GenerateFailStops(1, 1, -5, 10, 1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	for _, k := range Kinds() {
+		if !k.Valid() {
+			t.Errorf("registered kind %q reports invalid", k)
+		}
+	}
+	if Kind("nope").Valid() {
+		t.Error("unknown kind reports valid")
+	}
+}
