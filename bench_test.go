@@ -173,6 +173,87 @@ func BenchmarkTopKBlocksAttention64K(b *testing.B) {
 	}
 }
 
+// BenchmarkDot vs BenchmarkDotRef is the striped-lane regression pair:
+// hilos-bench floors the 8-lane striped Dot at ≥ 1.3x over the retained
+// scalar reference on the head-dimension-scale vectors the kernels feed it.
+func benchDot(b *testing.B, dot func(a, c []float32) float32) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	const n = 4096
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+		y[i] = float32(rng.NormFloat64())
+	}
+	b.SetBytes(int64(2 * n * 4))
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += dot(x, y)
+	}
+	if math.IsNaN(float64(sink)) {
+		b.Fatal("NaN sink")
+	}
+}
+
+func BenchmarkDot(b *testing.B)    { benchDot(b, tensor.Dot) }
+func BenchmarkDotRef(b *testing.B) { benchDot(b, tensor.DotRef) }
+
+// BenchmarkTransposeBlocked vs BenchmarkTransposeRef measures the cache win
+// of the 64×64 tiled transpose on a matrix whose columns stride far past L1
+// (2048×2048 float32 = 16 MiB).
+func benchTranspose(b *testing.B, t func(m tensor.Mat) tensor.Mat) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(6))
+	m := tensor.RandMat(rng, 2048, 2048, 1)
+	b.SetBytes(int64(2048 * 2048 * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := t(m); out.Rows != m.Cols {
+			b.Fatal("bad shape")
+		}
+	}
+}
+
+func BenchmarkTransposeBlocked(b *testing.B) { benchTranspose(b, tensor.Mat.T) }
+func BenchmarkTransposeRef(b *testing.B)     { benchTranspose(b, tensor.Mat.TransposeRef) }
+
+// benchAcceleratorAttentionWorkers pins the worker count for the accel
+// parallel-datapath regression pair: same (group × chunk) grid, only the
+// concurrency differs (results are bit-identical).
+func benchAcceleratorAttentionWorkers(b *testing.B, seq, workers int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	const group, dim = 8, 128
+	a, err := accel.New(accel.Config{DGroup: group, HeadDim: dim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := tensor.RandMat(rng, group, dim, 1)
+	k := tensor.RandMat(rng, seq, dim, 1)
+	v := tensor.RandMat(rng, seq, dim, 1)
+	b.SetBytes(int64(2 * seq * dim * 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AttentionWorkers(q, k, v, nil, tensor.Mat{}, tensor.Mat{}, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAcceleratorAttention16KSerial / ...Workers4 gate the accel
+// parallel datapath the same way the Blocked 64K pair gates the attention
+// kernels: hilos-bench floors the ns/op ratio at ≥ 4 procs.
+func BenchmarkAcceleratorAttention16KSerial(b *testing.B) {
+	benchAcceleratorAttentionWorkers(b, 16*1024, 1)
+}
+func BenchmarkAcceleratorAttention16KWorkers4(b *testing.B) {
+	benchAcceleratorAttentionWorkers(b, 16*1024, 4)
+}
+
 func BenchmarkAcceleratorAttention4K(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	a, err := accel.New(accel.Config{DGroup: 1, HeadDim: 128})

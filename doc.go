@@ -207,11 +207,40 @@
 // accumulator at most once per block — the §5.4 streaming update unit —
 // instead of once per token. Top-k retrieval selects through a bounded
 // min-heap in O(n·log k), reproducing the old O(n·k) selection's output
-// exactly (descending score, ascending index among ties, every k), and
-// tensor.Dot is unrolled four-wide over independent partial sums. All
+// exactly (descending score, ascending index among ties, every k). All
 // optimized paths stay within the existing FP32 tolerances of the Ref
 // golden reference (and bit-exact where tests demand it, e.g. the X-cache
 // regeneration path).
+//
+// tensor.Dot stripes its accumulation across eight independent lanes —
+// modeling the accelerator's parallel MAC lane groups — with a documented
+// canonical reduction order that is part of the numeric contract: lane L
+// takes the products at indices i+L over full 8-element groups, the
+// fewer-than-8 tail folds sequentially into lane 0 (so lengths < 8 are
+// exactly the scalar sequential sum), and the lanes reduce as
+// ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)). The scalar single-accumulator
+// loop is retained as tensor.DotRef; equivalence is property- and
+// fuzz-tested (bitwise below one stripe, FP32 tolerance for finite data,
+// NaN-for-NaN, bitwise determinism for all inputs including Inf), and
+// cmd/hilos-bench floors the striped speedup over DotRef at 1.3x.
+// Mat.T transposes through 64×64 cache tiles (bit-identical to the naive
+// TransposeRef — transposition is pure data movement); large MatMuls
+// transpose the right operand once and stream both operands contiguously
+// through the striped Dot, while small products keep the original exact
+// axpy loop.
+//
+// Chunk geometry is cache-budget-derived: the attention and accelerator
+// kernels size their block-aligned K/V chunk spans so one chunk's K and V
+// rows at FP32 fit a process-wide per-worker budget
+// (attention.ChunkSpan(headDim, blockSize); hilos.SetKernelCacheBudget /
+// KernelCacheBudget, with hilos.SetKernelChunkTokens pinning the span
+// outright). The default budget is a fixed 1 MiB constant — deliberately
+// never probed from the host CPU — because the chunk partition shapes the
+// fixed reduction tree and is therefore part of the numeric contract:
+// results are bit-identical across worker counts for any budget, and
+// bit-identical across machines exactly when budgets agree. Tuning is an
+// explicit act: `hilos-bench -tune` sweeps spans over a decode-shape call
+// and reports the knee as a SetKernelCacheBudget value to apply by hand.
 //
 // Within one attention call the kernels are parallel: a process-wide worker
 // pool (tensor.ParallelFor — long-lived goroutines, a shared atomic item
@@ -221,8 +250,9 @@
 // calls allocate only the output. Parallel results are bit-identical to a
 // one-worker run for every worker count, by construction rather than by
 // tolerance: the K/V range is split into block-aligned chunks as a pure
-// function of shape (never of the worker count), every work item writes
-// only its own index-owned Partial, and each row's chunk partials reduce
+// function of shape + settings (never of the worker count), every work
+// item writes only its own index-owned Partial, and each row's chunk
+// partials reduce
 // through a fixed-shape binary tree of Merge calls (stride 1, 2, 4, …) whose
 // combination order depends only on the chunk count — goroutine completion
 // order can never reach a float32 bit. Property and fuzz tests pin
@@ -250,16 +280,21 @@
 // private namespace over the same cache with the same per-key singleflight,
 // so concurrent prewarm workers share one run per batch shape.
 //
-// BENCH_PR8.json records the whole benchmark suite (ns/op, allocs/op,
+// BENCH_PR10.json records the whole benchmark suite (ns/op, allocs/op,
 // bytes/op, and the GOMAXPROCS each benchmark ran under), including the
-// 1M-scale entries (BenchmarkBlockedAttention1M, BenchmarkScheduler1M) and
-// the serial/4-worker attention pair. To regenerate it, pipe
-// `go test -bench` output through cmd/hilos-bench:
+// 1M-scale entries (BenchmarkBlockedAttention1M, BenchmarkScheduler1M), the
+// serial/4-worker attention and accelerator pairs, and the single-thread ILP
+// pairs (BenchmarkDot/DotRef, BenchmarkTransposeBlocked/TransposeRef). To
+// regenerate it, pipe `go test -bench` output through cmd/hilos-bench
+// (later lines refine earlier ones, so append longer runs of the gated
+// pairs after the 1x full sweep):
 //
 //	go test -run '^$' -bench . -benchtime 1x -benchmem . > bench.out
 //	go test -run '^$' -bench Scheduler -benchtime 20x -benchmem . >> bench.out
 //	go test -run '^$' -bench 'BlockedAttention64K(Serial|Workers4)$' -benchtime 20x -benchmem . >> bench.out
-//	go run ./cmd/hilos-bench -bench-json BENCH_PR8.json < bench.out
+//	go test -run '^$' -bench 'BenchmarkDot(Ref)?$|Transpose(Blocked|Ref)$' -benchtime 300ms -benchmem . >> bench.out
+//	go test -run '^$' -bench 'AcceleratorAttention16K(Serial|Workers4)$' -benchtime 3x -benchmem . >> bench.out
+//	go run ./cmd/hilos-bench -bench-json BENCH_PR10.json < bench.out
 //
 // CI replays that recipe and fails if BenchmarkSchedulerListScheduling
 // regresses against the checked-in baseline (measured as the
@@ -267,9 +302,13 @@
 // 20% headroom by default, widened to 50% in CI for cross-runner
 // variance), or if the speedup falls below the hard 5x acceptance floor.
 // On runners with GOMAXPROCS ≥ 4 it additionally floors the
-// BenchmarkBlockedAttention64KSerial / ...Workers4 speedup at 2x and
-// compares it against the baseline's recorded ratio; below 4 procs the
-// kernel gate reports itself skipped rather than passing vacuously.
+// BenchmarkBlockedAttention64KSerial / ...Workers4 speedup at 2x and the
+// BenchmarkAcceleratorAttention16KSerial / ...Workers4 speedup at 1.5x;
+// below 4 procs those gates report themselves skipped rather than passing
+// vacuously. The ILP gates apply at any proc count: the striped Dot must
+// beat the scalar DotRef by 1.3x and the blocked transpose must beat
+// TransposeRef by 1.2x. Every gated pair is also compared against the
+// baseline's recorded ratio with the same regression headroom.
 //
 // # Observability
 //
@@ -348,8 +387,9 @@
 //     are index-owned writes (out[i] = v), fixed-shape tree reduction over
 //     an index-ordered slice, and collect-then-sort.
 //   - Numerics (floataccum): long float reductions in the kernel packages
-//     (internal/attention, internal/tensor, internal/fp16) accumulate in
-//     float64 — attention.Partial/Stats — and convert once at the boundary.
+//     (internal/attention, internal/tensor, internal/fp16, internal/accel)
+//     accumulate in float64 — attention.Partial/Stats — and convert once at
+//     the boundary.
 //     float32 `+=` in a loop is reserved for code that deliberately models
 //     the accelerator's FP32 MAC datapath, and says so.
 //   - Concurrency (guardedby, heapsafe): shared state annotated

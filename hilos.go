@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/accel"
+	"repro/internal/attention"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/device"
@@ -300,6 +301,33 @@ func SetKernelWorkers(n int) { tensor.SetWorkers(n) }
 
 // KernelWorkers reports the worker count kernels currently shard across.
 func KernelWorkers() int { return tensor.DefaultWorkers() }
+
+// SetKernelCacheBudget sets the per-worker cache budget (bytes) the
+// attention and accelerator kernels size their K/V chunk spans against
+// (n ≤ 0 restores the fixed 1 MiB default). Unlike worker count, the budget
+// IS part of the numeric contract: it shapes the chunk partition and thus
+// the fixed reduction tree, so results stay bit-identical across worker
+// counts for any budget, but replaying a run bit-for-bit requires the same
+// budget. The default is deliberately a constant — never probed from the
+// host — so untuned runs reproduce identically across machines; use
+// `hilos-bench -tune` to find the knee for a given box, then set it here
+// explicitly.
+func SetKernelCacheBudget(n int) { tensor.SetCacheBudget(n) }
+
+// KernelCacheBudget reports the active per-worker cache budget in bytes.
+func KernelCacheBudget() int { return tensor.CacheBudget() }
+
+// SetKernelChunkTokens pins the kernel K/V chunk span directly in tokens,
+// bypassing the cache-budget sizing (n ≤ 0 restores adaptive sizing). Used
+// by calibration sweeps; like the budget, the pin is part of the numeric
+// contract.
+func SetKernelChunkTokens(n int) { tensor.SetChunkTokens(n) }
+
+// KernelChunkSpan reports the K/V chunk span (tokens) the kernels would use
+// for the given head dimension and block size under the current settings.
+func KernelChunkSpan(headDim, blockSize int) int {
+	return attention.ChunkSpan(headDim, blockSize)
+}
 
 // Backlog packs a request trace into same-shape batches of batchSize and
 // drains them through the selected system over the simulator's configured

@@ -83,19 +83,41 @@ func PadSequence(s int) int {
 // value rows (Fig. 6b); pass empty mats when unused.
 //
 // Inputs are quantized through FP16 (storage precision); accumulation is
-// FP32, matching §5.4.
+// FP32, matching §5.4. The per-block qk/softmax/sv stages shard across the
+// kernel worker pool (see AttentionWorkers); results are bit-identical for
+// every worker count.
 func (a *Accelerator) Attention(q, k, v tensor.Mat, mask []bool, hostScores tensor.Mat, hostV tensor.Mat) (tensor.Mat, error) {
+	return a.AttentionWorkers(q, k, v, mask, hostScores, hostV, tensor.DefaultWorkers())
+}
+
+// validateAttention checks the shared shape contract of the attention entry
+// points.
+func (a *Accelerator) validateAttention(q, k, v, hostScores, hostV tensor.Mat) error {
 	if q.Rows != a.cfg.DGroup {
-		return tensor.Mat{}, fmt.Errorf("accel: got %d query rows, configured d_group %d", q.Rows, a.cfg.DGroup)
+		return fmt.Errorf("accel: got %d query rows, configured d_group %d", q.Rows, a.cfg.DGroup)
 	}
 	if q.Cols != a.cfg.HeadDim || k.Cols != a.cfg.HeadDim {
-		return tensor.Mat{}, fmt.Errorf("accel: head dim mismatch: q %d, k %d, cfg %d", q.Cols, k.Cols, a.cfg.HeadDim)
+		return fmt.Errorf("accel: head dim mismatch: q %d, k %d, cfg %d", q.Cols, k.Cols, a.cfg.HeadDim)
 	}
 	if k.Rows != v.Rows {
-		return tensor.Mat{}, fmt.Errorf("accel: k rows %d != v rows %d", k.Rows, v.Rows)
+		return fmt.Errorf("accel: k rows %d != v rows %d", k.Rows, v.Rows)
 	}
 	if hostScores.Rows > 0 && (hostScores.Rows != q.Rows || hostScores.Cols != hostV.Rows) {
-		return tensor.Mat{}, fmt.Errorf("accel: host partial shape mismatch")
+		return fmt.Errorf("accel: host partial shape mismatch")
+	}
+	return nil
+}
+
+// attentionSerial is the original single-goroutine-per-group dataflow,
+// retained as the golden reference for the chunk-sharded AttentionWorkers:
+// with the chunk span pinned past the sequence length the parallel datapath
+// reduces to exactly this association, which the equivalence tests pin
+// bit-for-bit.
+//
+//lint:allow floataccum score·V and host-partial folds model the hardware's FP32 accumulators
+func (a *Accelerator) attentionSerial(q, k, v tensor.Mat, mask []bool, hostScores tensor.Mat, hostV tensor.Mat) (tensor.Mat, error) {
+	if err := a.validateAttention(q, k, v, hostScores, hostV); err != nil {
+		return tensor.Mat{}, err
 	}
 
 	// Storage precision emulation.
@@ -108,11 +130,7 @@ func (a *Accelerator) Attention(q, k, v tensor.Mat, mask []bool, hostScores tens
 	scale := float32(1 / math.Sqrt(float64(a.cfg.HeadDim)))
 
 	out := tensor.New(q.Rows, v.Cols)
-	// The dGroup query heads are the hardware's parallel MAC lanes: each
-	// group's pass touches only its own scratch and out.Row(g), so sharding
-	// groups across the kernel worker pool is bit-identical to the serial
-	// loop for any worker count.
-	tensor.ParallelFor(a.cfg.DGroup, tensor.DefaultWorkers(), func(g int) {
+	for g := 0; g < a.cfg.DGroup; g++ {
 		qrow := q.Row(g)
 
 		// Pass over blocks: query-key product unit with online transpose,
@@ -180,12 +198,14 @@ func (a *Accelerator) Attention(q, k, v tensor.Mat, mask []bool, hostScores tens
 		for j := range orow {
 			orow[j] *= inv
 		}
-	})
+	}
 	return out, nil
 }
 
 // qkBlock is the query-key product unit for one block [lo,hi): it loads the
 // K block, performs the local online transpose, and computes scaled q·Kᵀ.
+//
+//lint:allow floataccum the per-token dot chain is the modeled 128-lane FP32 MAC array
 func (a *Accelerator) qkBlock(qrow []float32, k tensor.Mat, lo, hi int, scale float32) []float32 {
 	n := hi - lo
 	out := make([]float32, n)

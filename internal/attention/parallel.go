@@ -12,10 +12,11 @@ import (
 // (tensor.ParallelFor) while staying bit-identical to a serial run for every
 // worker count. Two invariants make that hold:
 //
-//   - Partitioning is a pure function of shape. The K/V range is split into
-//     block-aligned chunks of chunkTokens tokens regardless of how many
-//     workers will run them, and the (query row × chunk) work items each own
-//     one Partial slot — index-ordered assembly, never a shared accumulator.
+//   - Partitioning is a pure function of shape + settings. The K/V range is
+//     split into block-aligned chunks of ChunkSpan(headDim, blockSize)
+//     tokens regardless of how many workers will run them, and the
+//     (query row × chunk) work items each own one Partial slot —
+//     index-ordered assembly, never a shared accumulator.
 //   - Reduction order is fixed. Chunk partials merge through a fixed-shape
 //     binary tree (treeMerge): parts[i] absorbs parts[i+stride] for stride
 //     1, 2, 4, …, a combination order determined by the chunk count alone.
@@ -25,30 +26,60 @@ import (
 // partials are drawn from sync.Pool arenas, so steady-state calls allocate
 // only the output matrix and one job descriptor.
 
-// chunkTokens is the target K/V chunk length for range sharding. It is a
-// variable only so tests can shrink it to exercise many-chunk dataflows on
-// small inputs; it must stay fixed for the duration of any comparison, since
-// the chunk partition is part of the numeric contract.
-var chunkTokens = 4096
-
 // minParallelWork is the floor, in query-row·token units, below which the
 // kernels run their (identical) dataflow inline: borrowing pool workers for
 // a few thousand dot products costs more than it saves. The cutoff is a
 // pure function of shape, so it cannot perturb results.
 const minParallelWork = 16 * 1024
 
-// chunkSpan returns the chunk length for a given block size: the largest
-// multiple of blockSize not exceeding chunkTokens (at least one block).
-func chunkSpan(blockSize int) int {
-	if blockSize >= chunkTokens {
+// Chunk-span clamp. Below minChunkTokens the merge tree is deeper than the
+// fold work it saves; above maxChunkTokens the (row × chunk) grid stops
+// load-balancing long contexts.
+const (
+	minChunkTokens = 256
+	maxChunkTokens = 65536
+)
+
+// ChunkSpan returns the K/V chunk length, in tokens, used for range
+// sharding: the largest block-aligned span whose K rows plus V rows at FP32
+// fit the process-wide cache budget (tensor.CacheBudget), clamped to
+// [minChunkTokens, maxChunkTokens] and rounded down to a blockSize multiple
+// (at least one block). A positive tensor.SetChunkTokens pin bypasses the
+// budget-derived sizing — tests and cmd/hilos-bench -tune use it to sweep
+// spans directly.
+//
+// The span is a pure function of (headDim, blockSize) and the two settings.
+// Worker count is deliberately NOT an input: the chunk partition shapes the
+// fixed merge tree, so admitting workers would break the bit-identity of
+// parallel results across worker counts — the invariant the whole dataflow
+// is built around.
+func ChunkSpan(headDim, blockSize int) int {
+	if blockSize <= 0 {
+		blockSize = 128
+	}
+	target := tensor.ChunkTokensOverride()
+	if target <= 0 {
+		if headDim <= 0 {
+			headDim = 1
+		}
+		// Per token resident per fold: one K row + one V row at FP32.
+		target = tensor.CacheBudget() / (2 * headDim * 4)
+		if target < minChunkTokens {
+			target = minChunkTokens
+		}
+		if target > maxChunkTokens {
+			target = maxChunkTokens
+		}
+	}
+	if blockSize >= target {
 		return blockSize
 	}
-	return chunkTokens / blockSize * blockSize
+	return target / blockSize * blockSize
 }
 
-// chunkCount returns the number of K/V range chunks for kRows tokens.
-func chunkCount(kRows, blockSize int) int {
-	span := chunkSpan(blockSize)
+// chunkCountFor returns the number of K/V range chunks for kRows tokens at
+// the given span.
+func chunkCountFor(kRows, span int) int {
 	return (kRows + span - 1) / span
 }
 
@@ -150,8 +181,10 @@ func BlockedWorkers(q, k, v tensor.Mat, mask []bool, blockSize, workers int) ten
 	if k.Rows == 0 || q.Rows == 0 {
 		return out
 	}
-	nChunks := chunkCount(k.Rows, blockSize)
-	span := chunkSpan(blockSize)
+	// Read the span once per call: the partition must stay coherent even if
+	// a knob changes concurrently (both knob reads happen inside ChunkSpan).
+	span := ChunkSpan(q.Cols, blockSize)
+	nChunks := chunkCountFor(k.Rows, span)
 	if q.Rows*k.Rows < minParallelWork {
 		workers = 1
 	}
@@ -194,8 +227,8 @@ func GQAWorkers(q, k, v tensor.Mat, mask []bool, blockSize, workers int) tensor.
 	if k.Rows == 0 || rows == 0 {
 		return out
 	}
-	nChunks := chunkCount(k.Rows, blockSize)
-	span := chunkSpan(blockSize)
+	span := ChunkSpan(q.Cols, blockSize)
+	nChunks := chunkCountFor(k.Rows, span)
 	if rows*k.Rows < minParallelWork {
 		workers = 1
 	}
@@ -312,8 +345,8 @@ func TopKBlocksWorkers(q, k, v tensor.Mat, mask []bool, keepBlocks, blockSize, w
 	// Single query row: phase 1 (scores + pooled block means) in parallel
 	// over chunks, phases 2–3 (selection, kept-block attention) serial.
 	qrow := q.Row(0)
-	nChunks := chunkCount(k.Rows, blockSize)
-	span := chunkSpan(blockSize)
+	span := ChunkSpan(q.Cols, blockSize)
+	nChunks := chunkCountFor(k.Rows, span)
 	ln := getLane()
 	ln.scores = growF(ln.scores, k.Rows)
 	ln.blockScore = growF(ln.blockScore, nBlocks)

@@ -9,15 +9,16 @@ import (
 	"repro/internal/tensor"
 )
 
-// withChunkTokens shrinks the K/V chunk length so small test inputs exercise
-// many-chunk dataflows (chunk partials + tree merge), restoring the default
-// afterwards. The partition is part of the numeric contract, so every
-// comparison inside body sees the same value.
+// withChunkTokens pins the K/V chunk span so small test inputs exercise
+// many-chunk dataflows (chunk partials + tree merge), restoring adaptive
+// sizing afterwards. The pin goes through tensor.SetChunkTokens — an atomic,
+// so concurrent parallel tests under -race never see a torn write. The
+// partition is part of the numeric contract, so every comparison inside body
+// sees the same value.
 func withChunkTokens(t *testing.T, n int, body func()) {
 	t.Helper()
-	old := chunkTokens
-	chunkTokens = n
-	defer func() { chunkTokens = old }()
+	tensor.SetChunkTokens(n)
+	defer tensor.SetChunkTokens(0)
 	body()
 }
 
@@ -121,19 +122,57 @@ func TestTopKBlocksWorkersBitIdentical(t *testing.T) {
 }
 
 // TestChunkPartitionPureFunctionOfShape: the chunk grid may depend on shape
-// only — never on worker count — and must tile the token range exactly.
+// and the cache-budget settings only — never on worker count — and must
+// tile the token range exactly for every (headDim, blockSize) pair.
 func TestChunkPartitionPureFunctionOfShape(t *testing.T) {
-	for _, bs := range []int{1, 16, 128, chunkTokens, chunkTokens * 2} {
-		span := chunkSpan(bs)
-		if span < bs || span%bs != 0 {
-			t.Fatalf("blockSize %d: span %d not a positive multiple", bs, span)
-		}
-		for _, kRows := range []int{1, bs, bs + 1, 3*span - 1, 3 * span} {
-			n := chunkCount(kRows, bs)
-			if (n-1)*span >= kRows || n*span < kRows {
-				t.Fatalf("blockSize %d kRows %d: %d chunks of span %d do not tile", bs, kRows, n, span)
+	for _, d := range []int{1, 8, 64, 128, 4096} {
+		for _, bs := range []int{1, 16, 128, 4096, 100000} {
+			span := ChunkSpan(d, bs)
+			if span < bs || span%bs != 0 {
+				t.Fatalf("headDim %d blockSize %d: span %d not a positive multiple", d, bs, span)
+			}
+			for _, kRows := range []int{1, bs, bs + 1, 3*span - 1, 3 * span} {
+				n := chunkCountFor(kRows, span)
+				if (n-1)*span >= kRows || n*span < kRows {
+					t.Fatalf("headDim %d blockSize %d kRows %d: %d chunks of span %d do not tile", d, bs, kRows, n, span)
+				}
 			}
 		}
+	}
+}
+
+// TestChunkSpanTracksCacheBudget: the adaptive span scales with the budget
+// and inversely with head dimension, stays inside the clamp, and yields to
+// an explicit pin.
+func TestChunkSpanTracksCacheBudget(t *testing.T) {
+	defer tensor.SetCacheBudget(0)
+	defer tensor.SetChunkTokens(0)
+
+	tensor.SetCacheBudget(1 << 20) // default: 1 MiB
+	if got := ChunkSpan(64, 128); got != 2048 {
+		t.Fatalf("1 MiB / d=64: span %d, want 2048 (budget/(2·64·4) rounded to 128)", got)
+	}
+	if got := ChunkSpan(128, 128); got != 1024 {
+		t.Fatalf("1 MiB / d=128: span %d, want 1024", got)
+	}
+	tensor.SetCacheBudget(4 << 20)
+	if got := ChunkSpan(64, 128); got != 8192 {
+		t.Fatalf("4 MiB / d=64: span %d, want 8192", got)
+	}
+	// Clamp floor: a tiny budget cannot shrink the span below minChunkTokens.
+	tensor.SetCacheBudget(1024)
+	if got := ChunkSpan(64, 128); got != minChunkTokens {
+		t.Fatalf("1 KiB budget: span %d, want clamp floor %d", got, minChunkTokens)
+	}
+	// Clamp ceiling: a huge budget cannot blow past maxChunkTokens.
+	tensor.SetCacheBudget(1 << 30)
+	if got := ChunkSpan(1, 128); got != maxChunkTokens {
+		t.Fatalf("1 GiB budget: span %d, want clamp ceiling %d", got, maxChunkTokens)
+	}
+	// An explicit pin bypasses the budget entirely.
+	tensor.SetChunkTokens(600)
+	if got := ChunkSpan(64, 128); got != 512 {
+		t.Fatalf("pin 600: span %d, want 512 (block-aligned)", got)
 	}
 }
 
@@ -191,9 +230,8 @@ func FuzzParallelBlockedEquivalence(f *testing.F) {
 		q := tensor.RandMat(rng, rows, 16, 1)
 		k := tensor.RandMat(rng, s, 16, 1)
 		v := tensor.RandMat(rng, s, 16, 1)
-		old := chunkTokens
-		chunkTokens = chunk
-		defer func() { chunkTokens = old }()
+		tensor.SetChunkTokens(chunk)
+		defer tensor.SetChunkTokens(0)
 		base := BlockedWorkers(q, k, v, nil, bs, 1)
 		gbase := GQAWorkers(q, k, v, nil, bs, 1)
 		for _, w := range []int{2, 3, 8} {

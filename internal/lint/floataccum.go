@@ -24,7 +24,7 @@ var FloatAccum = &analysis.Analyzer{
 		"Per-token softmax statistics and long reductions must accumulate in float64\n" +
 		"(attention.Partial / attention.Stats); float32 += in a loop silently loses\n" +
 		"precision as context length grows.",
-	Packages: []string{"internal/attention", "internal/tensor", "internal/fp16"},
+	Packages: []string{"internal/attention", "internal/tensor", "internal/fp16", "internal/accel"},
 	Run:      runFloatAccum,
 }
 

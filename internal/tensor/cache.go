@@ -1,0 +1,65 @@
+package tensor
+
+import "sync/atomic"
+
+// This file holds the process-wide cache-geometry knobs the kernel substrate
+// reads when it partitions work: a per-worker cache budget (bytes) that the
+// attention and accelerator kernels translate into K/V chunk spans, and an
+// explicit chunk-token override for tests and calibration sweeps.
+//
+// Both knobs are part of the numeric contract: the chunk partition decides
+// the shape of the fixed reduction tree, so two runs agree bit-for-bit only
+// when they agree on budget/override. For exactly that reason the default
+// budget is a fixed constant — deliberately NOT probed from the host CPU at
+// startup — so results replay identically across machines. Tuning is an
+// explicit act (SetCacheBudget / cmd/hilos-bench -tune), never an ambient
+// property of whichever box ran the job.
+
+// DefaultCacheBudgetBytes is the default per-worker cache budget: sized to a
+// typical per-core L2 slice (1 MiB) so one K/V chunk (K rows + V rows at
+// FP32) stays resident while a work item folds it. Derived once at package
+// init; see the determinism note above for why it is a constant.
+const DefaultCacheBudgetBytes = 1 << 20
+
+// cacheBudget is the active per-worker cache budget in bytes. Zero or
+// negative stores are normalized to the default by SetCacheBudget, so loads
+// always observe a positive budget.
+var cacheBudget atomic.Int64
+
+// chunkTokensPin, when positive, pins the kernel K/V chunk span directly in
+// tokens, bypassing the budget-derived sizing. Used by tests (to exercise
+// many-chunk dataflows on small inputs without mutating package state
+// racily) and by calibration sweeps (cmd/hilos-bench -tune).
+var chunkTokensPin atomic.Int64
+
+func init() { cacheBudget.Store(DefaultCacheBudgetBytes) }
+
+// SetCacheBudget sets the per-worker cache budget (bytes) the kernels size
+// their K/V chunks against. n ≤ 0 restores DefaultCacheBudgetBytes. The
+// budget changes chunk geometry and therefore the fixed reduction tree:
+// results remain bit-identical across worker counts for any budget, but two
+// runs only match each other bit-for-bit when they use the same budget.
+func SetCacheBudget(n int) {
+	if n <= 0 {
+		n = DefaultCacheBudgetBytes
+	}
+	cacheBudget.Store(int64(n))
+}
+
+// CacheBudget returns the active per-worker cache budget in bytes.
+func CacheBudget() int { return int(cacheBudget.Load()) }
+
+// SetChunkTokens pins the kernel K/V chunk span to n tokens, overriding the
+// budget-derived sizing; n ≤ 0 restores adaptive sizing. Like the budget,
+// the pin is part of the numeric contract and must stay fixed for the
+// duration of any bit-level comparison.
+func SetChunkTokens(n int) {
+	if n < 0 {
+		n = 0
+	}
+	chunkTokensPin.Store(int64(n))
+}
+
+// ChunkTokensOverride returns the pinned chunk span in tokens, or 0 when
+// adaptive budget-derived sizing is active.
+func ChunkTokensOverride() int { return int(chunkTokensPin.Load()) }

@@ -60,8 +60,51 @@ func (m Mat) SliceRows(lo, hi int) Mat {
 	return Mat{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
 }
 
-// T returns the transpose of m as a new matrix.
+// transposeTile is the square tile edge of the blocked transpose: 64×64
+// float32 source plus destination tiles are 32 KiB together, sized to stay
+// L1-resident while the tile is scattered. Transposition is pure data
+// movement, so tiling can never change a bit — only the miss rate.
+const transposeTile = 64
+
+// T returns the transpose of m as a new matrix. Large matrices transpose
+// tile by tile (transposeTile² elements at a time) so both the row-major
+// reads and the column-strided writes stay inside one cache tile; the
+// result is bit-identical to TransposeRef for every shape.
 func (m Mat) T() Mat {
+	out := New(m.Cols, m.Rows)
+	if m.Rows*m.Cols < transposeTile*transposeTile {
+		for i := 0; i < m.Rows; i++ {
+			row := m.Row(i)
+			for j, v := range row {
+				out.Data[j*m.Rows+i] = v
+			}
+		}
+		return out
+	}
+	for ii := 0; ii < m.Rows; ii += transposeTile {
+		ih := ii + transposeTile
+		if ih > m.Rows {
+			ih = m.Rows
+		}
+		for jj := 0; jj < m.Cols; jj += transposeTile {
+			jh := jj + transposeTile
+			if jh > m.Cols {
+				jh = m.Cols
+			}
+			for i := ii; i < ih; i++ {
+				row := m.Data[i*m.Cols+jj : i*m.Cols+jh]
+				for j, v := range row {
+					out.Data[(jj+j)*m.Rows+i] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TransposeRef is the naive row-by-row transpose retained as the golden
+// reference for the blocked T; tests pin bit-identity between the two.
+func (m Mat) TransposeRef() Mat {
 	out := New(m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
@@ -71,10 +114,21 @@ func (m Mat) T() Mat {
 	return out
 }
 
+// matMulDotFlops is the work floor (element multiplications) above which
+// MatMul switches from the row-axpy loop to the transposed-operand striped
+// path: transpose b once with the blocked T, then compute every output
+// element as a striped Dot over two contiguous rows. Below the floor the
+// transpose would not amortize; the threshold is a pure function of shape,
+// so which path runs never depends on data or worker count.
+const matMulDotFlops = 1 << 20
+
 // MatMul returns a·b. Panics on shape mismatch. Products above a fixed work
-// floor shard output rows across the kernel worker pool; each row is
-// computed exactly as in the serial loop, so the result is bit-identical for
-// any worker count.
+// floor shard output rows across the kernel worker pool, and large products
+// additionally route their inner loops through the cache-blocked transpose
+// and the striped Dot (both operands then stream contiguously through the
+// 8-lane MAC reduction). Row results are index-owned, so the result is
+// bit-identical for any worker count; the small-product path reproduces the
+// original serial axpy loop exactly.
 //
 //lint:allow floataccum GEMM deliberately emulates the accelerator's FP32 accumulators
 func MatMul(a, b Mat) Mat {
@@ -82,7 +136,23 @@ func MatMul(a, b Mat) Mat {
 		panic(fmt.Sprintf("tensor: matmul shape %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	mulRow := func(i int) {
+	flops := a.Rows * a.Cols * b.Cols
+	workers := 1
+	if a.Rows > 1 && flops >= matMulParallelFlops {
+		workers = DefaultWorkers()
+	}
+	if a.Rows >= 8 && a.Cols >= 8 && flops >= matMulDotFlops {
+		bt := b.T() // blocked transpose: b columns become contiguous rows
+		ParallelFor(a.Rows, workers, func(i int) {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := range orow {
+				orow[j] = Dot(arow, bt.Row(j))
+			}
+		})
+		return out
+	}
+	ParallelFor(a.Rows, workers, func(i int) {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k := 0; k < a.Cols; k++ {
@@ -95,12 +165,7 @@ func MatMul(a, b Mat) Mat {
 				orow[j] += av * brow[j]
 			}
 		}
-	}
-	workers := 1
-	if a.Rows > 1 && a.Rows*a.Cols*b.Cols >= matMulParallelFlops {
-		workers = DefaultWorkers()
-	}
-	ParallelFor(a.Rows, workers, mulRow)
+	})
 	return out
 }
 
@@ -116,29 +181,61 @@ func MatVec(m Mat, x []float32) []float32 {
 	return out
 }
 
-// Dot returns the inner product of a and b accumulated in float32. The
-// loop is unrolled four-wide over independent partial sums — matching the
-// accelerator's parallel MAC lanes — which breaks the sequential add
-// dependency chain; the four lanes are reduced pairwise at the end.
+// Dot returns the inner product of a and b accumulated in float32, striped
+// across eight independent lanes — matching the accelerator's parallel MAC
+// lane groups — so the sequential add dependency chain is broken eight ways
+// and the loop retires more than one element per add-latency cycle.
 //
-//lint:allow floataccum unrolled lanes model the accelerator's parallel FP32 MACs
+// Canonical reduction order (part of the numeric contract, documented here
+// and tested against DotRef): lane L accumulates the products at indices
+// i+L over full 8-element groups in index order; the final fewer-than-8
+// tail elements fold sequentially into lane 0 (so lengths < 8 are exactly
+// the scalar sequential sum); the lanes then reduce as
+// ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)). The shape is a pure function of
+// the input length — never of data or timing — so Dot is deterministic for
+// all inputs, NaN and Inf included.
+//
+//lint:allow floataccum striped lanes model the accelerator's parallel FP32 MACs
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: dot length %d != %d", len(a), len(b)))
 	}
-	var s0, s1, s2, s3 float32
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
 	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		aa, bb := a[i:i+4:i+4], b[i:i+4:i+4]
+	for ; i+8 <= len(a); i += 8 {
+		aa, bb := a[i:i+8:i+8], b[i:i+8:i+8]
 		s0 += aa[0] * bb[0]
 		s1 += aa[1] * bb[1]
 		s2 += aa[2] * bb[2]
 		s3 += aa[3] * bb[3]
+		s4 += aa[4] * bb[4]
+		s5 += aa[5] * bb[5]
+		s6 += aa[6] * bb[6]
+		s7 += aa[7] * bb[7]
 	}
 	for ; i < len(a); i++ {
 		s0 += a[i] * b[i]
 	}
-	return (s0 + s1) + (s2 + s3)
+	return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+}
+
+// DotRef is the retained scalar reference for the striped Dot: one
+// accumulator, strict index order. Every optimized dot path is
+// equivalence-tested against it (bitwise for lengths < 8, where the striped
+// tail degenerates to exactly this loop; within FP32 reassociation
+// tolerance otherwise), and cmd/hilos-bench floors the striped speedup over
+// it.
+//
+//lint:allow floataccum scalar FP32 chain is the reference the striped lanes are tested against
+func DotRef(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length %d != %d", len(a), len(b)))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
 }
 
 // Scale multiplies every element of m by f in place and returns m.

@@ -114,9 +114,9 @@ func TestRoundFP16(t *testing.T) {
 	}
 }
 
-// TestDotUnrollMatchesSequential: the four-lane unrolled Dot must agree
-// with a plain sequential accumulation within FP32 reassociation tolerance,
-// for every length class the unroll handles (0..4 remainders).
+// TestDotUnrollMatchesSequential: the striped Dot must agree with a plain
+// float64 sequential accumulation within FP32 reassociation tolerance, for
+// lengths spanning every remainder class of the 8-wide stripe.
 func TestDotUnrollMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(50))
 	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 127, 128, 129, 1000} {
